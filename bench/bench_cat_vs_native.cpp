@@ -1,0 +1,91 @@
+//===- bench_cat_vs_native.cpp - Fig. 38 model file vs native Power --------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates the herd design point: the Fig. 38 cat file (models/power.cat)
+/// must decide exactly like the hand-coded Power model over the full
+/// battery, and the interpreter's overhead is reported. Same for the other
+/// shipped models.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cat/CatModel.h"
+#include "diy/Diy.h"
+#include "herd/Simulator.h"
+#include "model/Registry.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace cats;
+using cats::cat::CatModel;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+} // namespace
+
+int main() {
+  struct Pair {
+    const char *Stem;
+    const char *Native;
+    Arch Battery;
+  };
+  const Pair Pairs[] = {
+      {"sc", "SC", Arch::Power},     {"tso", "TSO", Arch::TSO},
+      {"power", "Power", Arch::Power}, {"arm", "ARM", Arch::ARM},
+      {"arm-llh", "ARM llh", Arch::ARM},
+  };
+
+  std::printf("== cat interpreter vs native models ==\n\n");
+  std::printf("%-10s %-10s %12s %12s %12s %10s\n", "cat file", "native",
+              "candidates", "agree", "cat time", "native time");
+  bool AllAgree = true;
+  for (const Pair &P : Pairs) {
+    auto Cat = CatModel::builtin(P.Stem);
+    if (!Cat) {
+      std::printf("%-10s failed to load: %s\n", P.Stem,
+                  Cat.message().c_str());
+      return 1;
+    }
+    const Model *Native = modelByName(P.Native);
+    std::vector<LitmusTest> Battery = generateBattery(P.Battery, 12);
+
+    uint64_t Candidates = 0, Agreement = 0;
+    double CatTime = 0, NativeTime = 0;
+    for (const LitmusTest &Test : Battery) {
+      auto Compiled = CompiledTest::compile(Test);
+      if (!Compiled)
+        continue;
+      forEachCandidate(*Compiled, [&](const Candidate &Cand) {
+        if (!Cand.Consistent)
+          return true;
+        ++Candidates;
+        auto Start = Clock::now();
+        bool CatSays = Cat->allows(Cand.Exe);
+        CatTime += secondsSince(Start);
+        Start = Clock::now();
+        bool NativeSays = Native->allows(Cand.Exe);
+        NativeTime += secondsSince(Start);
+        Agreement += CatSays == NativeSays;
+        return true;
+      });
+    }
+    AllAgree &= Agreement == Candidates;
+    std::printf("%-10s %-10s %12llu %12llu %10.3fs %9.3fs\n", P.Stem,
+                P.Native, static_cast<unsigned long long>(Candidates),
+                static_cast<unsigned long long>(Agreement), CatTime,
+                NativeTime);
+  }
+  std::printf("\nFull agreement: %s (the Fig. 38 text is the model).\n",
+              AllAgree ? "yes" : "NO");
+  return AllAgree ? 0 : 1;
+}

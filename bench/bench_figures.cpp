@@ -1,0 +1,45 @@
+//===- bench_figures.cpp - Every figure's verdict, paper vs measured -------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the allowed/forbidden verdict of every litmus figure in the
+/// paper (Figs. 6-20, 27-37, 39) under every model the paper documents a
+/// verdict for, and prints paper-vs-measured.
+///
+//===----------------------------------------------------------------------===//
+
+#include "herd/Simulator.h"
+#include "litmus/Catalog.h"
+#include "model/Registry.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace cats;
+
+int main() {
+  std::printf("== Figure verdicts: paper vs this implementation ==\n\n");
+  std::printf("%-34s %-18s %-10s %-7s %-7s %s\n", "test", "figure", "model",
+              "paper", "ours", "match");
+  unsigned Total = 0, Matches = 0;
+  for (const CatalogEntry &Entry : figureCatalog()) {
+    for (const auto &[ModelName, Expected] : Entry.Expected) {
+      const Model *M = modelByName(ModelName);
+      if (!M)
+        continue;
+      SimulationResult R = simulate(Entry.Test, *M);
+      bool Match = R.ConditionReachable == Expected;
+      ++Total;
+      Matches += Match;
+      std::printf("%-34s %-18s %-10s %-7s %-7s %s\n",
+                  Entry.Test.Name.c_str(), Entry.Figure.c_str(),
+                  ModelName.c_str(), Expected ? "Allow" : "Forbid",
+                  R.verdict(), Match ? "yes" : "NO");
+    }
+  }
+  std::printf("\n%u/%u verdicts match the paper.\n", Matches, Total);
+  return Matches == Total ? 0 : 1;
+}

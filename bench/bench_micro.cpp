@@ -1,0 +1,127 @@
+//===- bench_micro.cpp - google-benchmark microbenchmarks ------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks of the kernels everything rests on: relation closures,
+/// the Power ppo fixpoint, full model checks, cat interpretation and the
+/// operational machine — the per-candidate costs behind Table IX.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cat/CatModel.h"
+#include "herd/MultiEvent.h"
+#include "herd/Simulator.h"
+#include "litmus/Catalog.h"
+#include "machine/IntermediateMachine.h"
+#include "model/Registry.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cats;
+
+namespace {
+
+Relation randomRelation(unsigned N, unsigned Pairs, uint64_t Seed) {
+  Rng R(Seed);
+  Relation Out(N);
+  for (unsigned I = 0; I < Pairs; ++I)
+    Out.set(static_cast<EventId>(R.nextBelow(N)),
+            static_cast<EventId>(R.nextBelow(N)));
+  return Out;
+}
+
+const Execution &witness(const char *Name) {
+  static std::map<std::string, Execution> Cache;
+  auto It = Cache.find(Name);
+  if (It != Cache.end())
+    return It->second;
+  const CatalogEntry *Entry = catalogEntry(Name);
+  assert(Entry && "unknown catalogue test");
+  auto Compiled = CompiledTest::compile(Entry->Test);
+  assert(Compiled);
+  Execution Result;
+  forEachCandidate(*Compiled, [&](const Candidate &Cand) {
+    if (Cand.Consistent && Cand.Out.satisfies(Entry->Test.Final)) {
+      Result = Cand.Exe;
+      return false;
+    }
+    return true;
+  });
+  return Cache.emplace(Name, std::move(Result)).first->second;
+}
+
+void BM_TransitiveClosure(benchmark::State &State) {
+  Relation R = randomRelation(static_cast<unsigned>(State.range(0)),
+                              static_cast<unsigned>(State.range(0)) * 2,
+                              42);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(R.transitiveClosure());
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Compose(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Relation A = randomRelation(N, N * 2, 1);
+  Relation B = randomRelation(N, N * 2, 2);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.compose(B));
+}
+BENCHMARK(BM_Compose)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_PowerPpoFixpoint(benchmark::State &State) {
+  const Execution &Exe = witness("mp+lwsync+addr");
+  const Model &Power = *modelByName("Power");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Power.ppo(Exe));
+}
+BENCHMARK(BM_PowerPpoFixpoint);
+
+void BM_PowerFullCheck(benchmark::State &State) {
+  const Execution &Exe = witness("iriw+syncs");
+  const Model &Power = *modelByName("Power");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Power.check(Exe).Allowed);
+}
+BENCHMARK(BM_PowerFullCheck);
+
+void BM_MultiEventCheck(benchmark::State &State) {
+  const Execution &Exe = witness("iriw+syncs");
+  const Model &Power = *modelByName("Power");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(multiEventCheck(Exe, Power).Allowed);
+}
+BENCHMARK(BM_MultiEventCheck);
+
+void BM_MachineExploration(benchmark::State &State) {
+  const Execution &Exe = witness("iriw+syncs");
+  const Model &Power = *modelByName("Power");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(machineAccepts(Exe, Power).Accepted);
+}
+BENCHMARK(BM_MachineExploration);
+
+void BM_CatPowerCheck(benchmark::State &State) {
+  static auto Cat = cats::cat::CatModel::builtin("power");
+  assert(Cat);
+  const Execution &Exe = witness("mp+lwsync+addr");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Cat->allows(Exe));
+}
+BENCHMARK(BM_CatPowerCheck);
+
+void BM_SimulateWholeTest(benchmark::State &State) {
+  const CatalogEntry *Entry = catalogEntry("iriw+lwsyncs");
+  const Model &Power = *modelByName("Power");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        simulate(Entry->Test, Power).CandidatesAllowed);
+}
+BENCHMARK(BM_SimulateWholeTest);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+//===- bench_model_compare.cpp - Sec. 8.2: model-vs-model comparison -------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Sec. 8.2 experiments: where our Power model differs from
+/// the prior models. The PLDI'11 and CAV'12 models are represented by
+/// their documented divergences:
+///
+///  * PLDI'11 wrongly forbids mp+lwsync+addr-po-detour (observed on
+///    hardware); our model allows it (Fig. 36);
+///  * CAV'12 forbids mp+lwsync+addr-bigdetour-addr; ours allows it
+///    (Fig. 37);
+///  * PLDI'11 forbids the ARM fri-rfi behaviours (Fig. 32) that the
+///    designers want allowed; our ARM model allows them (the Power-ARM
+///    configuration plays the PLDI'11-shape role there).
+///
+/// Additionally sweeps the Power battery with the rdw/detour-free ppo
+/// variant discussed at the end of Sec. 8.2 (a "more static" ppo),
+/// counting how many verdicts change (paper: 24 tests on Power).
+///
+//===----------------------------------------------------------------------===//
+
+#include "diy/Diy.h"
+#include "herd/Simulator.h"
+#include "litmus/Catalog.h"
+#include "model/HwModel.h"
+#include "model/Registry.h"
+
+#include <cstdio>
+
+using namespace cats;
+
+int main() {
+  std::printf("== Sec. 8.2: experimental comparison of models ==\n\n");
+
+  struct Delta {
+    const char *Test;
+    const char *Rival;
+    const char *RivalVerdict;
+    bool OursAllows;
+  };
+  const Delta Deltas[] = {
+      {"mp+lwsync+addr-po-detour", "PLDI'11 (Sarkar et al.)", "Forbid",
+       true},
+      {"mp+lwsync+addr-bigdetour-addr", "CAV'12 (Mador-Haim et al.)",
+       "Forbid", true},
+      {"mp+dmb+fri-rfi-ctrlisb", "PLDI'11 applied to ARM", "Forbid",
+       true},
+  };
+
+  std::printf("%-32s %-28s %-8s %-8s\n", "test", "rival model", "rival",
+              "ours");
+  bool AllMatch = true;
+  for (const Delta &D : Deltas) {
+    const CatalogEntry *Entry = catalogEntry(D.Test);
+    if (!Entry)
+      continue;
+    const Model &Ours = modelFor(Entry->Test.TargetArch);
+    bool Allowed = allowedBy(Entry->Test, Ours);
+    AllMatch &= Allowed == D.OursAllows;
+    std::printf("%-32s %-28s %-8s %-8s %s\n", D.Test, D.Rival,
+                D.RivalVerdict, Allowed ? "Allow" : "Forbid",
+                Allowed == D.OursAllows ? "" : "UNEXPECTED");
+  }
+
+  // The static-ppo variant (no rdw, no detour).
+  HwConfig StaticConfig = HwConfig::power();
+  StaticConfig.Name = "Power (static ppo)";
+  StaticConfig.PpoUsesRdwDetour = false;
+  HwModel StaticPower(StaticConfig);
+  const Model &Power = *modelByName("Power");
+
+  unsigned Changed = 0, Total = 0;
+  std::vector<std::string> ChangedNames;
+  for (const LitmusTest &Test : generateBattery(Arch::Power)) {
+    ++Total;
+    bool Full = allowedBy(Test, Power);
+    bool Static = allowedBy(Test, StaticPower);
+    if (Full != Static) {
+      ++Changed;
+      if (ChangedNames.size() < 10)
+        ChangedNames.push_back(Test.Name);
+    }
+  }
+  std::printf("\nDropping rdw/detour from ppo changes %u/%u battery "
+              "verdicts (paper: 24/8117, i.e. 0.3%%; the shapes that "
+              "depend on rdw/detour need three same-location accesses "
+              "per thread, which our two-access battery lacks).\n",
+              Changed, Total);
+  for (const std::string &Name : ChangedNames)
+    std::printf("  e.g. %s\n", Name.c_str());
+
+  std::printf("\nAll documented divergences reproduced: %s\n",
+              AllMatch ? "yes" : "NO");
+  return AllMatch ? 0 : 1;
+}

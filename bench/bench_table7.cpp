@@ -1,0 +1,78 @@
+//===- bench_table7.cpp - Table VII: the three ARM models ------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table VII: the Power-ARM / ARM / ARM-llh model family. We
+/// print the structural differences and compare the models' allowed sets
+/// over the ARM battery plus the anomaly tests: Power-ARM ⊊ ARM ⊊ ARM llh.
+///
+//===----------------------------------------------------------------------===//
+
+#include "diy/Diy.h"
+#include "herd/Simulator.h"
+#include "litmus/Catalog.h"
+#include "model/Registry.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace cats;
+
+int main() {
+  std::printf("== Table VII: summary of ARM models ==\n\n");
+  std::printf("%-12s %-34s %s\n", "model", "sc-per-location", "cc0");
+  std::printf("%-12s %-34s %s\n", "Power-ARM", "acyclic(po-loc|com)",
+              "dp|po-loc|ctrl|(addr;po)");
+  std::printf("%-12s %-34s %s\n", "ARM", "acyclic(po-loc|com)",
+              "dp|ctrl|(addr;po)");
+  std::printf("%-12s %-34s %s\n", "ARM llh",
+              "acyclic(po-loc\\RR|com)", "dp|ctrl|(addr;po)");
+
+  std::vector<LitmusTest> Battery = generateBattery(Arch::ARM);
+  for (const char *Name :
+       {"coRR", "coRSDWI", "mp+dmb+fri-rfi-ctrlisb",
+        "lb+data+fri-rfi-ctrl", "s+dmb+fri-rfi-data",
+        "lb+data+data-wsi-rfi-addr", "mp+dmb+pos-ctrlisb+bis"})
+    if (const CatalogEntry *Entry = catalogEntry(Name))
+      Battery.push_back(Entry->Test);
+
+  const Model &PowerArm = *modelByName("Power-ARM");
+  const Model &Arm = *modelByName("ARM");
+  const Model &ArmLlh = *modelByName("ARM llh");
+
+  unsigned AllowedPA = 0, AllowedArm = 0, AllowedLlh = 0;
+  unsigned Monotone = 0;
+  std::vector<std::string> ArmOnly, LlhOnly;
+  for (const LitmusTest &Test : Battery) {
+    bool PA = allowedBy(Test, PowerArm);
+    bool A = allowedBy(Test, Arm);
+    bool L = allowedBy(Test, ArmLlh);
+    AllowedPA += PA;
+    AllowedArm += A;
+    AllowedLlh += L;
+    if ((!PA || A) && (!A || L))
+      ++Monotone;
+    if (A && !PA)
+      ArmOnly.push_back(Test.Name);
+    if (L && !A)
+      LlhOnly.push_back(Test.Name);
+  }
+
+  std::printf("\nAllowed final states over %zu ARM tests:\n",
+              Battery.size());
+  std::printf("  Power-ARM: %u\n  ARM:       %u\n  ARM llh:   %u\n",
+              AllowedPA, AllowedArm, AllowedLlh);
+  std::printf("Weakening is monotone on %u/%zu tests (expected all).\n",
+              Monotone, Battery.size());
+
+  std::printf("\nAllowed by ARM but not Power-ARM (early commit):\n");
+  for (const std::string &Name : ArmOnly)
+    std::printf("  %s\n", Name.c_str());
+  std::printf("Allowed by ARM llh but not ARM (load-load hazards):\n");
+  for (const std::string &Name : LlhOnly)
+    std::printf("  %s\n", Name.c_str());
+  return 0;
+}

@@ -1,0 +1,133 @@
+//===- bench_table9.cpp - Table IX: simulation tool comparison -------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table IX: operational simulation (the intermediate machine
+/// in explore-all mode, standing in for ppcmem's full behaviour
+/// enumeration) vs multi-event axiomatic (CAV'12 style) vs single-event
+/// axiomatic (herd). All three tools judge the same pre-materialised
+/// candidate executions of a Power battery, so the comparison isolates the
+/// per-execution simulation cost. The operational tool runs under a state
+/// budget (ppcmem ran out of 40 GB on 42% of the paper's tests); tests
+/// that blow the budget count as unprocessed.
+///
+/// Paper: ppcmem 4704/8117 tests, 14.9M s; multi-event 8117, 2846 s;
+/// single-event 8117, 321 s. Shape to reproduce: single-event processes
+/// everything fastest; multi-event costs several times more; operational
+/// is orders of magnitude slower and/or incomplete.
+///
+//===----------------------------------------------------------------------===//
+
+#include "diy/Diy.h"
+#include "herd/MultiEvent.h"
+#include "herd/Simulator.h"
+#include "machine/IntermediateMachine.h"
+#include "model/Registry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+using namespace cats;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+} // namespace
+
+int main() {
+  const Model &Power = *modelByName("Power");
+  std::vector<LitmusTest> Battery = generateBattery(Arch::Power);
+
+  // Materialise every consistent candidate of every test once; the three
+  // tools then pay only their own judgement cost.
+  std::vector<std::vector<Execution>> PerTest;
+  size_t TotalCandidates = 0;
+  for (const LitmusTest &Test : Battery) {
+    auto Compiled = CompiledTest::compile(Test);
+    PerTest.emplace_back();
+    if (!Compiled)
+      continue;
+    forEachCandidate(*Compiled, [&](const Candidate &Cand) {
+      if (Cand.Consistent)
+        PerTest.back().push_back(Cand.Exe);
+      return true;
+    });
+    TotalCandidates += PerTest.back().size();
+  }
+
+  std::printf("== Table IX: comparison of simulation tools ==\n\n");
+  std::printf("battery: %zu Power tests, %zu candidate executions\n\n",
+              Battery.size(), TotalCandidates);
+
+  // Single-event axiomatic (herd).
+  auto Start = Clock::now();
+  unsigned SingleProcessed = 0;
+  for (const auto &Candidates : PerTest) {
+    for (const Execution &Exe : Candidates)
+      Power.allows(Exe);
+    ++SingleProcessed;
+  }
+  double SingleTime = secondsSince(Start);
+
+  // Multi-event axiomatic (CAV'12 cost).
+  Start = Clock::now();
+  unsigned MultiProcessed = 0;
+  for (const auto &Candidates : PerTest) {
+    for (const Execution &Exe : Candidates)
+      multiEventCheck(Exe, Power);
+    ++MultiProcessed;
+  }
+  double MultiTime = secondsSince(Start);
+
+  // Operational (full behaviour enumeration) with a state budget per
+  // candidate.
+  const uint64_t StateBudget = 200000;
+  Start = Clock::now();
+  unsigned OpProcessed = 0;
+  for (const auto &Candidates : PerTest) {
+    bool Complete = true;
+    for (const Execution &Exe : Candidates) {
+      MachineResult R = machineAccepts(Exe, Power, StateBudget,
+                                       /*ExploreAll=*/true);
+      if (R.HitLimit) {
+        Complete = false;
+        break;
+      }
+    }
+    if (Complete)
+      ++OpProcessed;
+  }
+  double OpTime = secondsSince(Start);
+
+  std::printf("%-28s %-24s %10s %12s\n", "tool", "model style",
+              "# of tests", "time (s)");
+  std::printf("%-28s %-24s %7u/%-3zu %12.2f   (paper: 4704/8117, "
+              "14922996 s)\n",
+              "intermediate machine", "operational", OpProcessed,
+              Battery.size(), OpTime);
+  std::printf("%-28s %-24s %7u/%-3zu %12.2f   (paper: 8117, 2846 s)\n",
+              "herd (blow-up)", "multi-event axiomatic", MultiProcessed,
+              Battery.size(), MultiTime);
+  std::printf("%-28s %-24s %7u/%-3zu %12.2f   (paper: 8117, 321 s)\n",
+              "herd (this model)", "single-event axiomatic",
+              SingleProcessed, Battery.size(), SingleTime);
+
+  std::printf("\nShape: single-event fastest (%0.1fx vs multi-event, "
+              "%0.1fx vs operational); operational completes %u/%zu "
+              "within its state budget. (Our battery caps at 4 threads "
+              "and 2 accesses per thread, so the operational state spaces "
+              "stay well under the budget; the paper's larger tests are "
+              "where ppcmem exhausts 40 GB.)\n",
+              MultiTime / SingleTime, OpTime / SingleTime, OpProcessed,
+              Battery.size());
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- quickstart.cpp - First steps with the cats library -------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: write a litmus test, simulate it under several models, and
+/// inspect the outcomes — the message-passing example of Fig. 1/4.
+///
+/// Build and run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "herd/Simulator.h"
+#include "litmus/Parser.h"
+#include "model/Registry.h"
+
+#include <cstdio>
+
+using namespace cats;
+
+int main() {
+  // The message-passing idiom: T0 publishes data (x) then a flag (y);
+  // T1 reads the flag then the data. The "bad" outcome is seeing the
+  // flag but stale data: r1=1 && r2=0.
+  const char *Source = R"(
+Power mp
+{ x=0; y=0 }
+P0:
+  st x, #1
+  st y, #1
+P1:
+  ld r1, y
+  ld r2, x
+exists (1:r1=1 /\ 1:r2=0)
+)";
+
+  auto Test = parseLitmus(Source);
+  if (!Test) {
+    std::fprintf(stderr, "parse error: %s\n", Test.message().c_str());
+    return 1;
+  }
+
+  std::printf("Test:\n%s\n", Test->toString().c_str());
+
+  // Ask every built-in model whether the bad outcome is reachable.
+  for (const char *ModelName : {"SC", "TSO", "Power", "ARM", "C++RA"}) {
+    const Model *M = modelByName(ModelName);
+    SimulationResult R = simulate(*Test, *M);
+    std::printf("%-6s: %s  (%llu/%llu candidate executions allowed, "
+                "%zu distinct outcomes)\n",
+                ModelName, R.verdict(),
+                static_cast<unsigned long long>(R.CandidatesAllowed),
+                static_cast<unsigned long long>(R.CandidatesConsistent),
+                R.AllowedOutcomes.size());
+  }
+
+  // On Power the fix is a lightweight fence plus an address dependency
+  // (Fig. 8); show that it indeed forbids the behaviour.
+  const char *Fixed = R"(
+Power mp+lwsync+addr
+P0:
+  st x, #1
+  lwsync
+  st y, #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  ld r3, x[r2]
+exists (1:r1=1 /\ 1:r3=0)
+)";
+  auto FixedTest = parseLitmus(Fixed);
+  if (!FixedTest) {
+    std::fprintf(stderr, "parse error: %s\n", FixedTest.message().c_str());
+    return 1;
+  }
+  SimulationResult R = simulate(*FixedTest, *modelByName("Power"));
+  std::printf("\nAfter adding lwsync + addr (Fig. 8): Power says %s.\n",
+              R.verdict());
+  return 0;
+}

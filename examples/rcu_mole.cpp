@@ -1,0 +1,82 @@
+//===- rcu_mole.cpp - Mining and verifying the RCU idiom --------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Sec. 9 workflow end to end on the RCU example of Fig. 40:
+///
+///  1. run mole on the program to discover its weak-memory idioms;
+///  2. take the central mp cycle (publish pointer, read pointer then
+///     data);
+///  3. verify with the Power model that the idiom as written — lwsync on
+///     the update side, address dependency on the read side — is safe,
+///     and that removing the fence breaks it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "herd/Simulator.h"
+#include "litmus/Parser.h"
+#include "model/Registry.h"
+#include "mole/Mole.h"
+
+#include <cstdio>
+
+using namespace cats;
+
+int main() {
+  // Step 1: mine.
+  MoleReport Report = analyzeProgram(rcuProgram());
+  std::printf("== mole on RCU (Fig. 40) ==\n\n");
+  std::printf("function groups:\n");
+  for (const auto &Group : Report.Groups) {
+    std::printf(" ");
+    for (const auto &Name : Group)
+      std::printf(" %s", Name.c_str());
+    std::printf("\n");
+  }
+  std::printf("\npatterns found:\n");
+  for (const auto &[Pattern, Count] : Report.patternCounts())
+    std::printf("  %-12s x%u\n", Pattern.c_str(), Count);
+
+  // Step 2+3: the mp idiom at RCU's heart, as litmus tests.
+  const char *Safe = R"(
+Power rcu-publish
+P0:
+  st foo2, #1
+  lwsync
+  st gblfoo, #2
+P1:
+  ld r1, gblfoo
+  xor r2, r1, r1
+  ld r3, foo2[r2]
+exists (1:r1=2 /\ 1:r3=0)
+)";
+  const char *Broken = R"(
+Power rcu-publish-nofence
+P0:
+  st foo2, #1
+  st gblfoo, #2
+P1:
+  ld r1, gblfoo
+  xor r2, r1, r1
+  ld r3, foo2[r2]
+exists (1:r1=2 /\ 1:r3=0)
+)";
+
+  const Model &Power = *modelByName("Power");
+  auto SafeTest = parseLitmus(Safe);
+  auto BrokenTest = parseLitmus(Broken);
+  if (!SafeTest || !BrokenTest) {
+    std::fprintf(stderr, "parse error\n");
+    return 1;
+  }
+  std::printf("\nwith lwsync + addr dependency: stale read %s\n",
+              allowedBy(*SafeTest, Power) ? "REACHABLE (bug!)"
+                                          : "unreachable (safe)");
+  std::printf("without the lwsync:             stale read %s\n",
+              allowedBy(*BrokenTest, Power) ? "reachable (as expected)"
+                                            : "unreachable?");
+  return 0;
+}

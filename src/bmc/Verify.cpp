@@ -1,0 +1,98 @@
+//===- Verify.cpp - Bounded verification of litmus programs ---------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bmc/Verify.h"
+
+#include "herd/MultiEvent.h"
+#include "herd/Simulator.h"
+#include "machine/IntermediateMachine.h"
+
+#include <chrono>
+
+using namespace cats;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+} // namespace
+
+VerifyResult cats::verifyAxiomatic(const LitmusTest &Test, const Model &M) {
+  VerifyResult Result;
+  Result.TestName = Test.Name;
+  Result.Method = "axiomatic/" + M.name();
+  auto Start = Clock::now();
+  auto Compiled = CompiledTest::compile(Test);
+  if (!Compiled)
+    return Result;
+  forEachCandidate(*Compiled, [&](const Candidate &Cand) {
+    ++Result.Work;
+    if (!Cand.Consistent || !Cand.Out.satisfies(Test.Final))
+      return true;
+    if (M.allows(Cand.Exe)) {
+      Result.Reachable = true;
+      return false; // Witness found.
+    }
+    return true;
+  });
+  Result.Seconds = secondsSince(Start);
+  return Result;
+}
+
+VerifyResult cats::verifyMultiEvent(const LitmusTest &Test, const Model &M) {
+  VerifyResult Result;
+  Result.TestName = Test.Name;
+  Result.Method = "multi-event/" + M.name();
+  auto Start = Clock::now();
+  auto Compiled = CompiledTest::compile(Test);
+  if (!Compiled)
+    return Result;
+  forEachCandidate(*Compiled, [&](const Candidate &Cand) {
+    ++Result.Work;
+    if (!Cand.Consistent || !Cand.Out.satisfies(Test.Final))
+      return true;
+    if (multiEventCheck(Cand.Exe, M).Allowed) {
+      Result.Reachable = true;
+      return false;
+    }
+    return true;
+  });
+  Result.Seconds = secondsSince(Start);
+  return Result;
+}
+
+VerifyResult cats::verifyOperational(const LitmusTest &Test, const Model &M,
+                                     uint64_t StateLimit) {
+  VerifyResult Result;
+  Result.TestName = Test.Name;
+  Result.Method = "operational/" + M.name();
+  auto Start = Clock::now();
+  auto Compiled = CompiledTest::compile(Test);
+  if (!Compiled)
+    return Result;
+  forEachCandidate(*Compiled, [&](const Candidate &Cand) {
+    if (!Cand.Consistent || !Cand.Out.satisfies(Test.Final))
+      return true;
+    // Explore-all: the instrumented-operational pipeline pays for the
+    // whole behaviour space of the encoding, not just one witness path.
+    MachineResult Machine = machineAccepts(Cand.Exe, M, StateLimit,
+                                           /*ExploreAll=*/true);
+    Result.Work += Machine.StatesVisited;
+    if (Machine.HitLimit)
+      Result.Incomplete = true;
+    if (Machine.Accepted) {
+      Result.Reachable = true;
+      return false;
+    }
+    return true;
+  });
+  Result.Seconds = secondsSince(Start);
+  return Result;
+}

@@ -1,0 +1,61 @@
+//===- Verify.h - Bounded verification of litmus programs -----*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bounded-verification substrate standing in for CBMC (Tables X-XII,
+/// see DESIGN.md). The question is always reachability of the program's
+/// final condition under a model, answered three ways:
+///
+///  * axiomatic, single-event: enumerate candidates, check the four axioms
+///    (this is the paper's "implement the model inside the verifier");
+///  * axiomatic, multi-event: the same with CAV'12-style event explosion;
+///  * operational: accept candidates by exploring the intermediate machine
+///    (this is the goto-instrument + SC-tool pipeline's cost shape: an
+///    operational search per behaviour).
+///
+/// Timings and work counters are returned so the benches can print the
+/// paper's comparison rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_BMC_VERIFY_H
+#define CATS_BMC_VERIFY_H
+
+#include "litmus/LitmusTest.h"
+#include "model/Model.h"
+
+#include <string>
+
+namespace cats {
+
+/// Result of one verification run.
+struct VerifyResult {
+  std::string TestName;
+  std::string Method;
+  bool Reachable = false;
+  /// Wall-clock seconds.
+  double Seconds = 0;
+  /// Work measure: candidates examined (axiomatic) or machine states
+  /// visited (operational).
+  uint64_t Work = 0;
+  /// True when the operational search hit its state limit somewhere.
+  bool Incomplete = false;
+};
+
+/// Axiomatic verification (single-event).
+VerifyResult verifyAxiomatic(const LitmusTest &Test, const Model &M);
+
+/// Axiomatic verification with multi-event cost.
+VerifyResult verifyMultiEvent(const LitmusTest &Test, const Model &M);
+
+/// Operational verification via the intermediate machine.
+/// \p StateLimit bounds the per-candidate search (0 = unlimited).
+VerifyResult verifyOperational(const LitmusTest &Test, const Model &M,
+                               uint64_t StateLimit = 0);
+
+} // namespace cats
+
+#endif // CATS_BMC_VERIFY_H

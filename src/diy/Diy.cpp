@@ -1,0 +1,556 @@
+//===- Diy.cpp - Cycle-based litmus test generation -----------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diy/Diy.h"
+
+#include "event/Execution.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cats;
+
+bool cats::isExternalEdge(EdgeKind Kind) {
+  return Kind == EdgeKind::Rfe || Kind == EdgeKind::Fre ||
+         Kind == EdgeKind::Wse;
+}
+
+bool cats::isInternalComEdge(EdgeKind Kind) {
+  return Kind == EdgeKind::Rfi || Kind == EdgeKind::Fri ||
+         Kind == EdgeKind::Wsi;
+}
+
+std::string DiyEdge::toString() const {
+  switch (Kind) {
+  case EdgeKind::Rfe:
+    return "Rfe";
+  case EdgeKind::Fre:
+    return "Fre";
+  case EdgeKind::Wse:
+    return "Wse";
+  case EdgeKind::Rfi:
+    return "Rfi";
+  case EdgeKind::Fri:
+    return "Fri";
+  case EdgeKind::Wsi:
+    return "Wsi";
+  case EdgeKind::Po:
+    break;
+  }
+  auto DirName = [](Dir D) { return D == Dir::R ? "R" : "W"; };
+  switch (Mech) {
+  case PoMech::None:
+    return strFormat("Pod%s%s", DirName(Src), DirName(Dst));
+  case PoMech::Addr:
+    return strFormat("DpAddrd%s", DirName(Dst));
+  case PoMech::Data:
+    return "DpDatadW";
+  case PoMech::Ctrl:
+    return strFormat("DpCtrld%s", DirName(Dst));
+  case PoMech::CtrlCfence:
+    return strFormat("DpCtrlCfenced%s", DirName(Dst));
+  case PoMech::Fence:
+    return strFormat("Fenced%s%s:%s", DirName(Src), DirName(Dst),
+                     FenceName.c_str());
+  }
+  return "?";
+}
+
+namespace {
+
+/// One event of the laid-out cycle.
+struct CycleEvent {
+  Dir Direction;
+  int Thread;
+  int Loc;
+  /// Index in the cycle.
+  size_t Index;
+  /// For writes: the assigned value (co position). For reads: the value
+  /// the condition pins.
+  Value Val = 0;
+  /// For reads: the register receiving the value.
+  Register Reg = -1;
+};
+
+/// Mechanism names for test naming.
+std::string mechSuffix(const DiyEdge &E, Arch Target) {
+  switch (E.Mech) {
+  case PoMech::None:
+    return "po";
+  case PoMech::Addr:
+    return "addr";
+  case PoMech::Data:
+    return "data";
+  case PoMech::Ctrl:
+    return "ctrl";
+  case PoMech::CtrlCfence:
+    return Target == Arch::ARM ? "ctrlisb" : "ctrlisync";
+  case PoMech::Fence:
+    return E.FenceName;
+  }
+  return "?";
+}
+
+const char *controlFenceFor(Arch Target) {
+  return Target == Arch::ARM ? fence::Isb : fence::ISync;
+}
+
+} // namespace
+
+std::string cats::cycleName(const DiyCycle &Cycle) {
+  // Classic family detection by rotation-invariant edge signature.
+  auto Signature = [](const DiyCycle &C) {
+    std::string Sig;
+    for (const DiyEdge &E : C) {
+      switch (E.Kind) {
+      case EdgeKind::Rfe:
+        Sig += "r";
+        break;
+      case EdgeKind::Fre:
+        Sig += "f";
+        break;
+      case EdgeKind::Wse:
+        Sig += "w";
+        break;
+      case EdgeKind::Rfi:
+        Sig += "ri";
+        break;
+      case EdgeKind::Fri:
+        Sig += "fi";
+        break;
+      case EdgeKind::Wsi:
+        Sig += "wi";
+        break;
+      case EdgeKind::Po:
+        Sig += (E.Src == Dir::R ? "pR" : "pW");
+        Sig += (E.Dst == Dir::R ? "R" : "W");
+        break;
+      }
+    }
+    return Sig;
+  };
+  auto RotationsMatch = [&](const DiyCycle &A, const DiyCycle &B) {
+    if (A.size() != B.size())
+      return false;
+    std::string SigB = Signature(B);
+    DiyCycle Rot = A;
+    for (size_t I = 0; I < A.size(); ++I) {
+      if (Signature(Rot) == SigB)
+        return true;
+      std::rotate(Rot.begin(), Rot.begin() + 1, Rot.end());
+    }
+    return false;
+  };
+
+  std::string Base;
+  for (const auto &[Family, FamilyCycle] : classicFamilies())
+    if (RotationsMatch(Cycle, FamilyCycle)) {
+      Base = Family;
+      break;
+    }
+  if (Base.empty()) {
+    // Systematic name: per-thread direction strings (Tab. III). Internal
+    // communication edges (rfi/fri/wsi) continue the thread; only
+    // external edges end it.
+    std::vector<std::string> Threads;
+    std::string Current;
+    for (const DiyEdge &E : Cycle) {
+      if (!isExternalEdge(E.Kind)) {
+        if (Current.empty())
+          Current += E.Src == Dir::R ? 'r' : 'w';
+        Current += E.Dst == Dir::R ? 'r' : 'w';
+      } else {
+        if (Current.empty())
+          Current += E.Src == Dir::R ? 'r' : 'w';
+        Threads.push_back(Current);
+        Current.clear();
+      }
+    }
+    if (!Current.empty())
+      Threads.push_back(Current);
+    Base = joinStrings(Threads, "+");
+  }
+
+  // Mechanism suffixes, in cycle order, only when any is non-plain.
+  bool AnyMech = false;
+  for (const DiyEdge &E : Cycle)
+    if (E.Kind == EdgeKind::Po && E.Mech != PoMech::None)
+      AnyMech = true;
+  if (!AnyMech)
+    return Base;
+  std::string Name = Base;
+  for (const DiyEdge &E : Cycle)
+    if (E.Kind == EdgeKind::Po)
+      Name += "+" + mechSuffix(E, Arch::Power);
+  return Name;
+}
+
+std::vector<std::pair<std::string, DiyCycle>> cats::classicFamilies() {
+  using E = DiyEdge;
+  return {
+      {"mp", {E::po(Dir::W, Dir::W), E::rfe(), E::po(Dir::R, Dir::R),
+              E::fre()}},
+      {"sb", {E::po(Dir::W, Dir::R), E::fre(), E::po(Dir::W, Dir::R),
+              E::fre()}},
+      {"lb", {E::po(Dir::R, Dir::W), E::rfe(), E::po(Dir::R, Dir::W),
+              E::rfe()}},
+      {"wrc", {E::rfe(), E::po(Dir::R, Dir::W), E::rfe(),
+               E::po(Dir::R, Dir::R), E::fre()}},
+      {"isa2", {E::po(Dir::W, Dir::W), E::rfe(), E::po(Dir::R, Dir::W),
+                E::rfe(), E::po(Dir::R, Dir::R), E::fre()}},
+      {"2+2w", {E::po(Dir::W, Dir::W), E::wse(), E::po(Dir::W, Dir::W),
+                E::wse()}},
+      {"w+rw+2w", {E::rfe(), E::po(Dir::R, Dir::W), E::wse(),
+                   E::po(Dir::W, Dir::W), E::wse()}},
+      {"rwc", {E::rfe(), E::po(Dir::R, Dir::R), E::fre(),
+               E::po(Dir::W, Dir::R), E::fre()}},
+      {"r", {E::po(Dir::W, Dir::W), E::wse(), E::po(Dir::W, Dir::R),
+             E::fre()}},
+      {"s", {E::po(Dir::W, Dir::W), E::rfe(), E::po(Dir::R, Dir::W),
+             E::wse()}},
+      {"iriw", {E::rfe(), E::po(Dir::R, Dir::R), E::fre(), E::rfe(),
+                E::po(Dir::R, Dir::R), E::fre()}},
+  };
+}
+
+Expected<LitmusTest> cats::synthesizeTest(const DiyCycle &Cycle,
+                                          Arch Target,
+                                          const std::string &NameOverride) {
+  using Fail = Expected<LitmusTest>;
+  if (Cycle.empty())
+    return Fail::error("diy: empty cycle");
+
+  // Direction coherence between consecutive edges, and counting.
+  unsigned NumExternal = 0, NumInternal = 0;
+  for (size_t I = 0; I < Cycle.size(); ++I) {
+    const DiyEdge &Cur = Cycle[I];
+    const DiyEdge &Next = Cycle[(I + 1) % Cycle.size()];
+    if (Cur.Dst != Next.Src)
+      return Fail::error(strFormat(
+          "diy: direction mismatch between edge %zu (%s) and %zu (%s)", I,
+          Cur.toString().c_str(), (I + 1) % Cycle.size(),
+          Next.toString().c_str()));
+    if (Cur.Kind == EdgeKind::Po) {
+      ++NumInternal;
+      if ((Cur.Mech == PoMech::Addr || Cur.Mech == PoMech::Data ||
+           Cur.Mech == PoMech::Ctrl || Cur.Mech == PoMech::CtrlCfence) &&
+          Cur.Src != Dir::R)
+        return Fail::error("diy: dependencies must start at a read");
+      if (Cur.Mech == PoMech::Data && Cur.Dst != Dir::W)
+        return Fail::error("diy: data dependencies must target a write");
+      if (Cur.Mech == PoMech::Fence &&
+          !archHasFence(Target, Cur.FenceName))
+        return Fail::error(strFormat("diy: fence '%s' not available on %s",
+                                     Cur.FenceName.c_str(),
+                                     archName(Target).c_str()));
+    } else if (isExternalEdge(Cur.Kind)) {
+      ++NumExternal;
+    }
+  }
+  if (NumExternal < 2)
+    return Fail::error("diy: a critical cycle needs at least two threads");
+  if (NumInternal < 1)
+    return Fail::error("diy: a critical cycle needs a po edge");
+  // Consecutive po edges would put three same-thread accesses with
+  // nothing pinning the middle one; internal communication edges are the
+  // sanctioned way to extend a thread (Figs. 32/33).
+  for (size_t I = 0; I < Cycle.size(); ++I)
+    if (Cycle[I].Kind == EdgeKind::Po &&
+        Cycle[(I + 1) % Cycle.size()].Kind == EdgeKind::Po)
+      return Fail::error("diy: consecutive po edges are not supported");
+
+  // Lay out events: rotate so the cycle starts right after an external
+  // edge (a thread boundary).
+  size_t Start = 0;
+  for (size_t I = 0; I < Cycle.size(); ++I)
+    if (isExternalEdge(Cycle[I].Kind)) {
+      Start = (I + 1) % Cycle.size();
+      break;
+    }
+
+  std::vector<CycleEvent> Events(Cycle.size());
+  std::vector<const DiyEdge *> OutEdge(Cycle.size());
+  int Thread = 0, Loc = 0;
+  for (size_t Step = 0; Step < Cycle.size(); ++Step) {
+    size_t I = (Start + Step) % Cycle.size();
+    const DiyEdge &Edge = Cycle[I];
+    CycleEvent &Ev = Events[Step];
+    Ev.Direction = Edge.Src;
+    Ev.Thread = Thread;
+    Ev.Loc = Loc;
+    Ev.Index = Step;
+    OutEdge[Step] = &Edge;
+    if (Edge.Kind == EdgeKind::Po) {
+      Loc = (Loc + 1) % static_cast<int>(NumInternal);
+    } else if (isExternalEdge(Edge.Kind)) {
+      ++Thread;
+    }
+    // Internal communication edges keep both the thread and the location.
+  }
+  unsigned NumThreads = NumExternal;
+  unsigned NumLocs = NumInternal;
+  (void)NumLocs;
+
+  // Location names x, y, z, w, a, b...
+  auto LocName = [](int L) {
+    static const char *Names[] = {"x", "y", "z", "w", "a", "b", "c", "d"};
+    assert(L >= 0 && L < 8 && "too many locations");
+    return std::string(Names[L]);
+  };
+
+  // Coherence values: per location, writes in cycle order; Wse edges give
+  // src-co-before-dst, which cycle order already respects because a Wse
+  // edge's target is laid out after its source (modulo the wrap, where the
+  // wrapped-to write is co-last: it is the first event, so instead order
+  // by "position in co chain". We simply topologically order the at most
+  // two writes per location via the Wse edges, defaulting to cycle order.
+  std::map<int, std::vector<size_t>> WritesPerLoc;
+  for (const CycleEvent &Ev : Events)
+    if (Ev.Direction == Dir::W)
+      WritesPerLoc[Ev.Loc].push_back(Ev.Index);
+  // Coherence constraints: ws edges order source before target; a read
+  // that takes its value from one write (rf in) and is from-read to
+  // another (fr out) pins its rf source co-before the fr target.
+  std::vector<std::pair<size_t, size_t>> CoConstraints;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const DiyEdge &Out = *OutEdge[I];
+    size_t Next = (I + 1) % Events.size();
+    if (Out.Kind == EdgeKind::Wse || Out.Kind == EdgeKind::Wsi)
+      CoConstraints.push_back({I, Next});
+    if (Out.Kind == EdgeKind::Fre || Out.Kind == EdgeKind::Fri) {
+      const DiyEdge &In =
+          *OutEdge[(I + Events.size() - 1) % Events.size()];
+      if (In.Kind == EdgeKind::Rfe || In.Kind == EdgeKind::Rfi)
+        CoConstraints.push_back(
+            {(I + Events.size() - 1) % Events.size(), Next});
+    }
+  }
+  for (auto &[L, Writes] : WritesPerLoc) {
+    // Topological order under the constraints, tie-broken by cycle index.
+    std::vector<size_t> Order;
+    std::vector<bool> Placed(Events.size(), false);
+    while (Order.size() < Writes.size()) {
+      bool Progress = false;
+      for (size_t W : Writes) {
+        if (Placed[W])
+          continue;
+        bool Ready = true;
+        for (auto [A, B] : CoConstraints)
+          if (B == W && !Placed[A] && Events[A].Loc == L &&
+              Events[A].Direction == Dir::W)
+            Ready = false;
+        if (Ready) {
+          Order.push_back(W);
+          Placed[W] = true;
+          Progress = true;
+        }
+      }
+      if (!Progress)
+        return Fail::error("diy: cyclic coherence constraints");
+    }
+    Value V = 1;
+    for (size_t W : Order)
+      Events[W].Val = V++;
+  }
+
+  // Read values: an Rfe pins the read to its source write's value; a read
+  // whose outgoing edge is Fre reads the co-predecessor of the Fre target.
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const DiyEdge &In = *OutEdge[(I + Events.size() - 1) % Events.size()];
+    CycleEvent &Ev = Events[I];
+    if (Ev.Direction != Dir::R)
+      continue;
+    if (In.Kind == EdgeKind::Rfe || In.Kind == EdgeKind::Rfi) {
+      Ev.Val = Events[(I + Events.size() - 1) % Events.size()].Val;
+      continue;
+    }
+    // Outgoing must determine the value: from-read to the next event.
+    const DiyEdge &Out = *OutEdge[I];
+    if (Out.Kind == EdgeKind::Fre || Out.Kind == EdgeKind::Fri) {
+      const CycleEvent &Target = Events[(I + 1) % Events.size()];
+      // Value of the co-predecessor of Target at that location (0 = init).
+      Value Pred = 0;
+      for (size_t W : WritesPerLoc[Target.Loc])
+        if (Events[W].Val < Target.Val && Events[W].Val > Pred)
+          Pred = Events[W].Val;
+      Ev.Val = Pred;
+      continue;
+    }
+    // A read with po in and po out cannot occur (two accesses per thread).
+    return Fail::error("diy: read value is unconstrained by the cycle");
+  }
+
+  // Emit code.
+  LitmusTest Test;
+  Test.TargetArch = Target;
+  Test.Threads.resize(NumThreads);
+  std::vector<ConditionAtom> Atoms;
+  std::vector<Register> NextReg(NumThreads, 1);
+
+  for (size_t I = 0; I < Events.size(); ++I) {
+    CycleEvent &Ev = Events[I];
+    ThreadCode &Code = Test.Threads[Ev.Thread];
+    // The mechanism on the incoming edge, when it is a po edge of the same
+    // thread, is emitted before this access.
+    const DiyEdge &In = *OutEdge[(I + Events.size() - 1) % Events.size()];
+    bool HasInPo = In.Kind == EdgeKind::Po;
+    Register SrcReg = -1;
+    if (HasInPo) {
+      const CycleEvent &Prev =
+          Events[(I + Events.size() - 1) % Events.size()];
+      SrcReg = Prev.Reg; // Reads record their register below.
+      switch (In.Mech) {
+      case PoMech::None:
+        break;
+      case PoMech::Fence:
+        Code.push_back(Instruction::fenceNamed(In.FenceName));
+        break;
+      case PoMech::Ctrl:
+        Code.push_back(Instruction::cmpBranch(SrcReg));
+        break;
+      case PoMech::CtrlCfence:
+        Code.push_back(Instruction::cmpBranch(SrcReg));
+        Code.push_back(Instruction::fenceNamed(controlFenceFor(Target)));
+        break;
+      case PoMech::Addr:
+      case PoMech::Data:
+        // Emitted as part of the access below.
+        break;
+      }
+    }
+
+    if (Ev.Direction == Dir::R) {
+      Register Dst = NextReg[Ev.Thread]++;
+      Ev.Reg = Dst;
+      Register AddrDep = -1;
+      if (HasInPo && In.Mech == PoMech::Addr) {
+        AddrDep = NextReg[Ev.Thread]++;
+        Code.push_back(Instruction::xorOp(AddrDep, SrcReg, SrcReg));
+      }
+      Code.push_back(Instruction::load(Dst, LocName(Ev.Loc), AddrDep));
+      Atoms.push_back(ConditionAtom::regEquals(Ev.Thread, Dst, Ev.Val));
+    } else {
+      if (HasInPo && In.Mech == PoMech::Addr) {
+        Register AddrDep = NextReg[Ev.Thread]++;
+        Code.push_back(Instruction::xorOp(AddrDep, SrcReg, SrcReg));
+        Code.push_back(Instruction::store(
+            LocName(Ev.Loc), Operand::imm(Ev.Val), AddrDep));
+      } else if (HasInPo && In.Mech == PoMech::Data) {
+        // Value dependency preserving the assigned value: zero the source
+        // register, add the constant.
+        Register ImmReg = NextReg[Ev.Thread]++;
+        Register ZeroReg = NextReg[Ev.Thread]++;
+        Register ValReg = NextReg[Ev.Thread]++;
+        // mov of the immediate is untainted and placed just before use.
+        Code.push_back(Instruction::move(ImmReg, Operand::imm(Ev.Val)));
+        Code.push_back(Instruction::xorOp(ZeroReg, SrcReg, SrcReg));
+        Code.push_back(Instruction::addOp(ValReg, ZeroReg, ImmReg));
+        Code.push_back(
+            Instruction::store(LocName(Ev.Loc), Operand::reg(ValReg)));
+      } else {
+        Code.push_back(Instruction::store(LocName(Ev.Loc),
+                                          Operand::imm(Ev.Val)));
+      }
+    }
+  }
+
+  // Final-state atoms pinning coherence for multi-write locations.
+  for (const auto &[L, Writes] : WritesPerLoc) {
+    if (Writes.size() < 2)
+      continue;
+    Value Max = 0;
+    for (size_t W : Writes)
+      Max = std::max(Max, Events[W].Val);
+    Atoms.push_back(ConditionAtom::memEquals(LocName(L), Max));
+  }
+  Test.Final.addConjunction(std::move(Atoms));
+
+  // Name from the cycle as given, so mechanism suffixes follow the
+  // caller's edge order (the paper's convention: write side first for mp).
+  Test.Name = NameOverride.empty() ? cycleName(Cycle) : NameOverride;
+
+  std::string Problem = Test.validate();
+  if (!Problem.empty())
+    return Fail::error("diy: generated an invalid test: " + Problem);
+  return Test;
+}
+
+std::vector<LitmusTest> cats::generateBattery(Arch Target,
+                                              unsigned MaxPerFamily) {
+  // Mechanism vocabulary per architecture.
+  std::vector<std::pair<PoMech, std::string>> Mechs = {
+      {PoMech::None, ""}};
+  switch (Target) {
+  case Arch::Power:
+    Mechs.push_back({PoMech::Fence, fence::Sync});
+    Mechs.push_back({PoMech::Fence, fence::LwSync});
+    Mechs.push_back({PoMech::Fence, fence::Eieio});
+    break;
+  case Arch::ARM:
+    Mechs.push_back({PoMech::Fence, fence::Dmb});
+    Mechs.push_back({PoMech::Fence, fence::DmbSt});
+    break;
+  case Arch::TSO:
+    Mechs.push_back({PoMech::Fence, fence::MFence});
+    break;
+  case Arch::SC:
+  case Arch::CppRA:
+    break;
+  }
+  bool HasDeps = Target == Arch::Power || Target == Arch::ARM;
+
+  std::vector<LitmusTest> Battery;
+  for (const auto &[Family, Base] : classicFamilies()) {
+    // Indices of po edges in the base cycle.
+    std::vector<size_t> PoEdges;
+    for (size_t I = 0; I < Base.size(); ++I)
+      if (Base[I].Kind == EdgeKind::Po)
+        PoEdges.push_back(I);
+
+    // Per-edge choices.
+    std::vector<std::vector<DiyEdge>> Choices(PoEdges.size());
+    for (size_t K = 0; K < PoEdges.size(); ++K) {
+      const DiyEdge &E = Base[PoEdges[K]];
+      for (const auto &[Mech, Fence] : Mechs)
+        Choices[K].push_back(
+            DiyEdge::po(E.Src, E.Dst, Mech, Fence));
+      if (HasDeps && E.Src == Dir::R) {
+        Choices[K].push_back(DiyEdge::po(E.Src, E.Dst, PoMech::Addr));
+        Choices[K].push_back(DiyEdge::po(E.Src, E.Dst, PoMech::Ctrl));
+        Choices[K].push_back(
+            DiyEdge::po(E.Src, E.Dst, PoMech::CtrlCfence));
+        if (E.Dst == Dir::W)
+          Choices[K].push_back(DiyEdge::po(E.Src, E.Dst, PoMech::Data));
+      }
+    }
+
+    // Cross product.
+    std::vector<size_t> Pick(PoEdges.size(), 0);
+    unsigned Emitted = 0;
+    while (true) {
+      DiyCycle Cycle = Base;
+      for (size_t K = 0; K < PoEdges.size(); ++K)
+        Cycle[PoEdges[K]] = Choices[K][Pick[K]];
+      auto Test = synthesizeTest(Cycle, Target);
+      if (Test) {
+        Battery.push_back(Test.take());
+        ++Emitted;
+        if (MaxPerFamily && Emitted >= MaxPerFamily)
+          break;
+      }
+      size_t K = 0;
+      for (; K < PoEdges.size(); ++K) {
+        if (++Pick[K] < Choices[K].size())
+          break;
+        Pick[K] = 0;
+      }
+      if (K == PoEdges.size())
+        break;
+    }
+  }
+  return Battery;
+}

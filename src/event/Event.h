@@ -1,0 +1,67 @@
+//===- Event.h - Memory events of a candidate execution -------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory events in the single-event style of the paper (Sec. 4.1): one
+/// write event per store instruction regardless of how many threads observe
+/// it, and one read event per load. Register/branch micro-events and iico
+/// live in the litmus layer (Sec. 5); by the time an Execution is built they
+/// have been compiled away into the dependency relations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_EVENT_EVENT_H
+#define CATS_EVENT_EVENT_H
+
+#include "relation/Relation.h"
+
+#include <string>
+
+namespace cats {
+
+/// Thread identifier; InitThread marks the fictitious initial-state writes.
+using ThreadId = int;
+constexpr ThreadId InitThread = -1;
+
+/// Memory location index. Locations are named at the litmus level ("x",
+/// "y", ...) and densely numbered here.
+using Location = int;
+
+/// Values stored and read. Litmus tests use small non-negative integers.
+using Value = int64_t;
+
+/// Kind of a memory event.
+enum class EventKind : uint8_t {
+  Read, ///< A load from memory, Rx=v.
+  Write ///< A store to memory, Wx=v (including the initial writes).
+};
+
+/// One memory event of a candidate execution.
+struct Event {
+  EventId Id = 0;
+  ThreadId Thread = InitThread;
+  /// Index of the originating instruction in its thread, for diagnostics;
+  /// -1 for initial writes.
+  int InstrIndex = -1;
+  EventKind Kind = EventKind::Write;
+  Location Loc = -1;
+  /// For writes: the stored value. For reads: the value read, meaningful
+  /// only once an rf edge has been chosen.
+  Value Val = 0;
+  /// True for the fictitious initial write of a location (co-minimal).
+  bool IsInit = false;
+
+  bool isRead() const { return Kind == EventKind::Read; }
+  bool isWrite() const { return Kind == EventKind::Write; }
+
+  /// Renders as e.g. "a: Wx=1" using the paper's convention. \p LocNames
+  /// maps location indices to names.
+  std::string toString(const std::vector<std::string> &LocNames) const;
+};
+
+} // namespace cats
+
+#endif // CATS_EVENT_EVENT_H

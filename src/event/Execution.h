@@ -1,0 +1,179 @@
+//===- Execution.h - Candidate executions (E, po, rf, co) -----*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A candidate execution in the sense of Sec. 3/4 of the paper: a set of
+/// memory events E, the program order po, a read-from map rf and a coherence
+/// order co, together with the architectural ingredient relations computed by
+/// the instruction semantics (dependencies and fence relations).
+///
+/// From these the class derives the glossary relations of Tab. II: fr, com,
+/// po-loc, and the internal/external splits rfi/rfe, coi/coe, fri/fre.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_EVENT_EXECUTION_H
+#define CATS_EVENT_EXECUTION_H
+
+#include "event/Event.h"
+#include "relation/Relation.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// Canonical fence names shared by the litmus layer, the native models and
+/// the cat interpreter builtins.
+namespace fence {
+inline constexpr const char *Sync = "sync";
+inline constexpr const char *LwSync = "lwsync";
+inline constexpr const char *Eieio = "eieio";
+inline constexpr const char *ISync = "isync";
+inline constexpr const char *Dmb = "dmb";
+inline constexpr const char *Dsb = "dsb";
+inline constexpr const char *DmbSt = "dmb.st";
+inline constexpr const char *DsbSt = "dsb.st";
+inline constexpr const char *Isb = "isb";
+inline constexpr const char *MFence = "mfence";
+} // namespace fence
+
+/// A candidate execution. The structural parts (events, po, dependencies,
+/// fence relations) are fixed by the program; rf and co vary per candidate
+/// and are filled in by the enumerator.
+class Execution {
+public:
+  Execution() = default;
+
+  /// Number of events (including initial writes).
+  unsigned numEvents() const { return static_cast<unsigned>(Events.size()); }
+
+  /// Number of program threads (initial writes belong to none).
+  unsigned numThreads() const { return NumThreads; }
+
+  /// Adds an event and returns its id. Events must be added thread by
+  /// thread in program order; initial writes may be added at any point.
+  EventId addEvent(Event E);
+
+  /// Event accessor.
+  const Event &event(EventId Id) const { return Events[Id]; }
+  Event &event(EventId Id) { return Events[Id]; }
+  const std::vector<Event> &events() const { return Events; }
+
+  /// Location-name table (index -> name).
+  std::vector<std::string> LocationNames;
+
+  /// Registers a location name, returning its dense index.
+  Location internLocation(const std::string &Name);
+
+  /// Builds po from the thread/instruction structure of the events: total
+  /// per-thread order following insertion order, no inter-thread pairs,
+  /// and no pairs involving initial writes. Call once all events are added.
+  void finalizeStructure(unsigned NumThreadsIn);
+
+  //===--------------------------------------------------------------------===//
+  // Structural relations (program-determined)
+  //===--------------------------------------------------------------------===//
+
+  /// Program order over memory events.
+  Relation Po;
+
+  /// Address dependencies (Fig. 22): read -> po-later memory access whose
+  /// address data-flows from the read.
+  Relation Addr;
+
+  /// Data dependencies: read -> po-later write whose stored value data-flows
+  /// from the read.
+  Relation Data;
+
+  /// Control dependencies: read -> po-later access after a branch whose
+  /// condition data-flows from the read.
+  Relation Ctrl;
+
+  /// Control + control-fence dependencies (ctrl+isync / ctrl+isb).
+  Relation CtrlCfence;
+
+  /// Fence relations: for fence name F, the pairs (e1, e2) in po with an F
+  /// instruction po-between them (footnote 2 of the paper: membership does
+  /// not yet say whether the fence *orders* the pair).
+  std::map<std::string, Relation> Fences;
+
+  /// Looks up a fence relation; returns the empty relation if the program
+  /// contains no such fence.
+  Relation fenceRelation(const std::string &Name) const;
+
+  //===--------------------------------------------------------------------===//
+  // Data-flow relations (candidate-specific)
+  //===--------------------------------------------------------------------===//
+
+  /// Read-from: links each read to the write it takes its value from.
+  Relation Rf;
+
+  /// Coherence: total order per location over writes to that location.
+  Relation Co;
+
+  //===--------------------------------------------------------------------===//
+  // Event-set views
+  //===--------------------------------------------------------------------===//
+
+  EventSet reads() const;
+  EventSet writes() const;
+  EventSet initWrites() const;
+  EventSet memoryEvents() const;
+
+  /// Events of thread \p Thread in program order.
+  std::vector<EventId> threadEvents(ThreadId Thread) const;
+
+  /// Writes to \p Loc (including the initial write), in insertion order.
+  std::vector<EventId> writesTo(Location Loc) const;
+
+  /// The initial write of \p Loc, or -1 if none was added.
+  int initWriteOf(Location Loc) const;
+
+  //===--------------------------------------------------------------------===//
+  // Derived relations (Tab. II)
+  //===--------------------------------------------------------------------===//
+
+  /// Same-location pairs of po.
+  Relation poLoc() const;
+
+  /// From-read: r -> w1 when r reads from w0 and w0 co-precedes w1.
+  Relation fr() const;
+
+  /// Communications: co | rf | fr.
+  Relation com() const;
+
+  /// Internal (same-thread) / external (cross-thread) splits. Initial
+  /// writes count as external to every thread, as in herd.
+  Relation internal(const Relation &R) const;
+  Relation external(const Relation &R) const;
+
+  Relation rfi() const { return internal(Rf); }
+  Relation rfe() const { return external(Rf); }
+  Relation coi() const { return internal(Co); }
+  Relation coe() const { return external(Co); }
+  Relation fri() const { return internal(fr()); }
+  Relation fre() const { return external(fr()); }
+
+  /// Read-different-writes (Fig. 27): po-loc & (fre; rfe).
+  Relation rdw() const;
+
+  /// Detour (Fig. 28): po-loc & (coe; rfe).
+  Relation detour() const;
+
+  /// Pretty-prints the execution (events plus rf/co/fr pairs).
+  std::string toString() const;
+
+private:
+  std::vector<Event> Events;
+  unsigned NumThreads = 0;
+  std::map<std::string, Location> LocationIds;
+};
+
+} // namespace cats
+
+#endif // CATS_EVENT_EXECUTION_H

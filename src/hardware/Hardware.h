@@ -1,0 +1,114 @@
+//===- Hardware.h - Simulated chips for litmus campaigns ------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardware-testing substrate (substitution for the paper's Power and
+/// ARM machines, per DESIGN.md). A HardwareProfile describes one chip: the
+/// model it implements, the fraction of the architecture it actually
+/// exploits (e.g. Power hardware does not implement load buffering,
+/// Sec. 8.1.1), and the anomalies the paper observed:
+///
+///  * load-load hazards (coRR violations) — all tested ARM chips, the
+///    acknowledged Cortex-A9 bug [arm 2011];
+///  * early-commit behaviours (fri-rfi reordering, Figs. 32/33) — the
+///    Qualcomm APQ8060/8064 feature the designers called desirable;
+///  * OBSERVATION anomalies (Fig. 35) — observed on Tegra3 only.
+///
+/// runOnHardware samples a test's consistent candidates with a
+/// deterministic PRNG, keeping those the chip's effective semantics can
+/// produce, and returns observation counts — the raw material of
+/// Tables V, VI and VIII.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_HARDWARE_HARDWARE_H
+#define CATS_HARDWARE_HARDWARE_H
+
+#include "herd/Simulator.h"
+#include "litmus/Compiler.h"
+#include "model/Model.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// One simulated chip.
+struct HardwareProfile {
+  std::string ChipName;
+  Arch TargetArch = Arch::Power;
+  /// Anomaly switches.
+  bool LoadLoadHazard = false;
+  bool EarlyCommit = false;
+  bool ObservationAnomaly = false;
+  /// Architecturally allowed features the implementation does not exploit:
+  /// when false, load-buffering (read-before-po-earlier-write) behaviours
+  /// are never produced, as on all tested Power chips.
+  bool ImplementsLoadBuffering = true;
+  /// Percentage of architecturally-allowed weak behaviours the micro-
+  /// architecture actually exploits. The mask is deterministic per
+  /// (architecture, test, outcome) and shared by the fleet — tested chips
+  /// share cores — producing the "allowed but unseen" rows of Table V.
+  unsigned ExploitPercent = 85;
+  /// Sampling rate of weak (non-SC) behaviours, in [0, 100]: weaker
+  /// behaviours are rarer on real chips.
+  unsigned WeakBehaviourPercent = 50;
+  /// How rare the anomaly behaviours are, as one observation in N samples.
+  unsigned AnomalyRarity = 64;
+  /// PRNG seed so campaigns are reproducible.
+  uint64_t Seed = 1;
+
+  //===--------------------------------------------------------------------===//
+  // The paper's test fleet (Sec. 8.1).
+  //===--------------------------------------------------------------------===//
+
+  static HardwareProfile powerG5();
+  static HardwareProfile power6();
+  static HardwareProfile power7();
+  static HardwareProfile tegra2();
+  static HardwareProfile tegra3();
+  static HardwareProfile apq8060();
+  static HardwareProfile apq8064();
+  static HardwareProfile exynos4412();
+  static HardwareProfile exynos5250();
+  static HardwareProfile appleA6X();
+
+  /// All Power chips.
+  static std::vector<HardwareProfile> powerFleet();
+  /// All ARM chips.
+  static std::vector<HardwareProfile> armFleet();
+};
+
+/// Result of running one litmus test on one simulated chip.
+struct HardwareRun {
+  std::string TestName;
+  std::string ChipName;
+  /// Distinct final states observed, with sample counts.
+  std::map<Outcome, uint64_t> Observed;
+  /// Total samples taken.
+  uint64_t Samples = 0;
+  /// True when some observed outcome satisfies the test's condition.
+  bool ConditionObserved = false;
+  /// Candidate executions that produced a condition-satisfying outcome,
+  /// for later classification against a model (Table VIII).
+  std::vector<Execution> ConditionWitnesses;
+};
+
+/// Decides whether the chip can produce candidate \p Cand of the test
+/// named \p TestName: the chip's effective semantics is its architecture's
+/// model, weakened by the profile's anomalies and strengthened by
+/// unimplemented features (the lb gap, the exploitation mask).
+bool chipCanProduce(const HardwareProfile &Chip, const Candidate &Cand,
+                    const std::string &TestName = "");
+
+/// Samples \p Test on \p Chip \p Samples times.
+HardwareRun runOnHardware(const LitmusTest &Test,
+                          const HardwareProfile &Chip, uint64_t Samples);
+
+} // namespace cats
+
+#endif // CATS_HARDWARE_HARDWARE_H

@@ -1,0 +1,95 @@
+//===- Simulator.cpp - Single-event axiomatic simulation (herd) -----------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "herd/Simulator.h"
+
+using namespace cats;
+
+void cats::forEachCandidate(
+    const CompiledTest &Compiled,
+    const std::function<bool(const Candidate &)> &Fn) {
+  const auto &Reads = Compiled.reads();
+  const auto &Writes = Compiled.candidateWrites();
+  std::vector<Relation> Cos = Compiled.allCoherenceOrders();
+
+  std::vector<size_t> Pick(Reads.size(), 0);
+  std::vector<EventId> Choice(Reads.size());
+  while (true) {
+    for (size_t I = 0; I < Reads.size(); ++I)
+      Choice[I] = Writes[I][Pick[I]];
+    for (const Relation &Co : Cos) {
+      Candidate Cand = Compiled.concretize(Choice, Co);
+      if (!Fn(Cand))
+        return;
+    }
+    // Odometer step over rf choices.
+    size_t I = 0;
+    for (; I < Reads.size(); ++I) {
+      if (++Pick[I] < Writes[I].size())
+        break;
+      Pick[I] = 0;
+    }
+    if (I == Reads.size())
+      break;
+  }
+}
+
+SimulationResult cats::simulate(const CompiledTest &Compiled,
+                                const Model &M) {
+  SimulationResult Result;
+  Result.TestName = Compiled.test().Name;
+  Result.ModelName = M.name();
+  const Condition &Final = Compiled.test().Final;
+
+  forEachCandidate(Compiled, [&](const Candidate &Cand) {
+    ++Result.CandidatesTotal;
+    if (!Cand.Consistent)
+      return true;
+    ++Result.CandidatesConsistent;
+    Result.ConsistentOutcomes.insert(Cand.Out);
+    if (!M.allows(Cand.Exe))
+      return true;
+    ++Result.CandidatesAllowed;
+    Result.AllowedOutcomes.insert(Cand.Out);
+    if (Cand.Out.satisfies(Final))
+      Result.ConditionReachable = true;
+    return true;
+  });
+  return Result;
+}
+
+SimulationResult cats::simulate(const LitmusTest &Test, const Model &M) {
+  auto Compiled = CompiledTest::compile(Test);
+  assert(Compiled && "litmus test failed to compile");
+  return simulate(*Compiled, M);
+}
+
+bool cats::allowedBy(const LitmusTest &Test, const Model &M) {
+  return simulate(Test, M).ConditionReachable;
+}
+
+std::string cats::herdStyleReport(const SimulationResult &Result,
+                                  const Condition &Final) {
+  std::string Out = "Test " + Result.TestName + " " +
+                    (Result.ConditionReachable ? "Allowed" : "Forbidden") +
+                    "\n";
+  Out += "States " + std::to_string(Result.AllowedOutcomes.size()) + "\n";
+  for (const Outcome &State : Result.AllowedOutcomes) {
+    // The key is already "t:rN=v;loc=v;..." — reformat with spaces.
+    std::string Line = State.key();
+    std::string Spaced;
+    for (char C : Line) {
+      Spaced += C;
+      if (C == ';')
+        Spaced += ' ';
+    }
+    Out += Spaced + "\n";
+  }
+  Out += Result.ConditionReachable ? "Ok\n" : "No\n";
+  Out += "Condition " + Final.toString() + "\n";
+  Out += "Model " + Result.ModelName + "\n";
+  return Out;
+}

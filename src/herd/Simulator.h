@@ -1,0 +1,82 @@
+//===- Simulator.h - Single-event axiomatic simulation (herd) -*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The herd-style simulator (Sec. 8.3): enumerate the candidate executions
+/// of a litmus test (every rf map times every coherence order), discard the
+/// value-inconsistent ones, check each against a model, and collect the
+/// allowed outcomes. A test's headline question — "is the final condition
+/// observable under this model?" — is answered by whether any allowed
+/// candidate satisfies it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_HERD_SIMULATOR_H
+#define CATS_HERD_SIMULATOR_H
+
+#include "litmus/Compiler.h"
+#include "model/Model.h"
+
+#include <functional>
+#include <set>
+#include <vector>
+
+namespace cats {
+
+/// Result of simulating one test under one model.
+struct SimulationResult {
+  std::string TestName;
+  std::string ModelName;
+  /// Raw candidate count (rf choices x coherence orders).
+  unsigned long long CandidatesTotal = 0;
+  /// Candidates surviving value-consistency.
+  unsigned long long CandidatesConsistent = 0;
+  /// Candidates allowed by the model.
+  unsigned long long CandidatesAllowed = 0;
+  /// Distinct outcomes of allowed candidates.
+  std::set<Outcome> AllowedOutcomes;
+  /// Distinct outcomes over all consistent candidates (any model).
+  std::set<Outcome> ConsistentOutcomes;
+  /// True if some allowed candidate satisfies the test's final condition.
+  bool ConditionReachable = false;
+
+  /// "Allow"/"Forbid" verdict string for the final condition.
+  const char *verdict() const {
+    return ConditionReachable ? "Allow" : "Forbid";
+  }
+};
+
+/// Visits every candidate execution of \p Compiled (consistent or not).
+/// Return false from the callback to stop early.
+void forEachCandidate(const CompiledTest &Compiled,
+                      const std::function<bool(const Candidate &)> &Fn);
+
+/// Runs the full simulation of \p Compiled under \p M.
+SimulationResult simulate(const CompiledTest &Compiled, const Model &M);
+
+/// Convenience overload: compiles \p Test first. Asserts on compile errors
+/// (use CompiledTest::compile directly for fallible input).
+SimulationResult simulate(const LitmusTest &Test, const Model &M);
+
+/// True if the final condition of \p Test is reachable under \p M.
+bool allowedBy(const LitmusTest &Test, const Model &M);
+
+/// Renders \p Result in the classic herd output format:
+///
+///   Test mp Allowed
+///   States 3
+///   1:r1=0; 1:r2=0;
+///   ...
+///   Ok
+///   Condition exists (1:r1=1 /\ 1:r2=0)
+///
+/// \p Final is the test's condition (echoed in the footer).
+std::string herdStyleReport(const SimulationResult &Result,
+                            const Condition &Final);
+
+} // namespace cats
+
+#endif // CATS_HERD_SIMULATOR_H

@@ -1,0 +1,961 @@
+//===- Catalog.cpp - The paper's litmus tests, with verdicts --------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Catalog.h"
+
+#include "litmus/Parser.h"
+
+#include <cassert>
+
+using namespace cats;
+
+namespace {
+
+/// Builds one entry from litmus text; the text must parse.
+CatalogEntry entry(const char *Figure, const char *PaperVerdict,
+                   const char *Text,
+                   std::map<std::string, bool> Expected,
+                   const char *Notes = "") {
+  auto Test = parseLitmus(Text);
+  assert(Test && "catalogue test failed to parse");
+  CatalogEntry E;
+  E.Figure = Figure;
+  E.PaperVerdict = PaperVerdict;
+  E.Notes = Notes;
+  E.Test = Test.take();
+  E.Expected = std::move(Expected);
+  return E;
+}
+
+std::vector<CatalogEntry> buildCatalog() {
+  std::vector<CatalogEntry> C;
+
+  //===------------------------------------------------------------------===//
+  // Fig. 6: the five SC PER LOCATION patterns.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 6", "coWW forbidden everywhere", R"(
+Power coWW
+P0:
+  st x, #1
+  st x, #2
+exists (x=1)
+)",
+                    {{"SC", false},
+                     {"TSO", false},
+                     {"Power", false},
+                     {"ARM", false},
+                     {"ARM llh", false},
+                     {"C++RA", false}}));
+
+  C.push_back(entry("Fig. 6", "coRW1 forbidden everywhere", R"(
+Power coRW1
+P0:
+  ld r1, x
+  st x, #1
+exists (0:r1=1)
+)",
+                    {{"SC", false},
+                     {"TSO", false},
+                     {"Power", false},
+                     {"ARM", false},
+                     {"ARM llh", false}}));
+
+  C.push_back(entry("Fig. 6", "coRW2 forbidden everywhere", R"(
+Power coRW2
+P0:
+  ld r1, x
+  st x, #1
+P1:
+  st x, #2
+exists (0:r1=2 /\ x=2)
+)",
+                    {{"SC", false},
+                     {"TSO", false},
+                     {"Power", false},
+                     {"ARM", false},
+                     {"ARM llh", false}},
+                    "final x=2 pins Wx=1 co-before Wx=2, so the read takes "
+                    "its value from a write co-after a po-later write"));
+
+  C.push_back(entry("Fig. 6", "coWR forbidden everywhere", R"(
+Power coWR
+P0:
+  st x, #1
+  ld r1, x
+P1:
+  st x, #2
+exists (0:r1=2 /\ x=1)
+)",
+                    {{"SC", false},
+                     {"TSO", false},
+                     {"Power", false},
+                     {"ARM", false},
+                     {"ARM llh", false}}));
+
+  C.push_back(entry("Fig. 6", "coRR forbidden; officially allowed by "
+                              "RMO/pre-Power4; ARM llh tolerates it",
+                    R"(
+Power coRR
+P0:
+  ld r1, x
+  ld r2, x
+P1:
+  st x, #1
+exists (0:r1=1 /\ 0:r2=0)
+)",
+                    {{"SC", false},
+                     {"TSO", false},
+                     {"Power", false},
+                     {"ARM", false},
+                     {"ARM llh", true}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 7: load buffering.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 7", "lb+addrs (lb+ppos) forbidden by NO THIN AIR",
+                    R"(
+Power lb+addrs
+P0:
+  ld r1, x
+  xor r2, r1, r1
+  st y[r2], #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  st x[r2], #1
+exists (0:r1=1 /\ 1:r1=1)
+)",
+                    {{"SC", false},
+                     {"TSO", false},
+                     {"Power", false},
+                     {"ARM", false}}));
+
+  C.push_back(entry("Fig. 7 (variant)",
+                    "lb without dependencies allowed on Power/ARM, "
+                    "forbidden on TSO",
+                    R"(
+Power lb
+P0:
+  ld r1, x
+  st y, #1
+P1:
+  ld r1, y
+  st x, #1
+exists (0:r1=1 /\ 1:r1=1)
+)",
+                    {{"SC", false},
+                     {"TSO", false},
+                     {"Power", true},
+                     {"ARM", true}}));
+
+  C.push_back(entry("Fig. 7 (variant)", "lb+ctrls forbidden (ctrl to a "
+                                        "write is preserved)",
+                    R"(
+Power lb+ctrls
+P0:
+  ld r1, x
+  beq r1
+  st y, #1
+P1:
+  ld r1, y
+  beq r1
+  st x, #1
+exists (0:r1=1 /\ 1:r1=1)
+)",
+                    {{"Power", false}, {"ARM", false}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 8: message passing.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 8", "mp+lwsync+addr forbidden by OBSERVATION", R"(
+Power mp+lwsync+addr
+P0:
+  st x, #1
+  lwsync
+  st y, #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  ld r3, x[r2]
+exists (1:r1=1 /\ 1:r3=0)
+)",
+                    {{"SC", false}, {"TSO", false}, {"Power", false}}));
+
+  C.push_back(entry("Fig. 8 (variant)",
+                    "bare mp allowed on Power/ARM, forbidden on TSO", R"(
+Power mp
+P0:
+  st x, #1
+  st y, #1
+P1:
+  ld r1, y
+  ld r2, x
+exists (1:r1=1 /\ 1:r2=0)
+)",
+                    {{"SC", false},
+                     {"TSO", false},
+                     {"Power", true},
+                     {"ARM", true},
+                     {"C++RA", false}}));
+
+  C.push_back(entry("Fig. 8 (variant)",
+                    "mp+lwsync+po: no read-side order, allowed", R"(
+Power mp+lwsync+po
+P0:
+  st x, #1
+  lwsync
+  st y, #1
+P1:
+  ld r1, y
+  ld r2, x
+exists (1:r1=1 /\ 1:r2=0)
+)",
+                    {{"Power", true}}));
+
+  C.push_back(entry("Fig. 8 (variant)",
+                    "mp+addrs: no write-side fence, allowed on Power", R"(
+Power mp+addrs
+P0:
+  st x, #1
+  st y, #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  ld r3, x[r2]
+exists (1:r1=1 /\ 1:r3=0)
+)",
+                    {{"Power", true}}));
+
+  C.push_back(entry("Fig. 8 (variant)", "mp+syncs forbidden", R"(
+Power mp+sync+addr
+P0:
+  st x, #1
+  sync
+  st y, #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  ld r3, x[r2]
+exists (1:r1=1 /\ 1:r3=0)
+)",
+                    {{"Power", false}}));
+
+  C.push_back(entry("Fig. 8 (ARM)", "mp+dmb+addr forbidden on ARM", R"(
+ARM mp+dmb+addr
+P0:
+  st x, #1
+  dmb
+  st y, #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  ld r3, x[r2]
+exists (1:r1=1 /\ 1:r3=0)
+)",
+                    {{"ARM", false}, {"Power-ARM", false},
+                     {"ARM llh", false}}));
+
+  C.push_back(entry("Fig. 8 (ARM)", "mp+dmb+ctrlisb forbidden on ARM", R"(
+ARM mp+dmb+ctrlisb
+P0:
+  st x, #1
+  dmb
+  st y, #1
+P1:
+  ld r1, y
+  beq r1
+  isb
+  ld r2, x
+exists (1:r1=1 /\ 1:r2=0)
+)",
+                    {{"ARM", false}, {"ARM llh", false}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 11: write-to-read causality.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 11",
+                    "wrc+lwsync+addr forbidden (A-cumulativity)", R"(
+Power wrc+lwsync+addr
+P0:
+  st x, #1
+P1:
+  ld r1, x
+  lwsync
+  st y, #1
+P2:
+  ld r1, y
+  xor r2, r1, r1
+  ld r3, x[r2]
+exists (1:r1=1 /\ 2:r1=1 /\ 2:r3=0)
+)",
+                    {{"SC", false}, {"TSO", false}, {"Power", false}}));
+
+  C.push_back(entry("Fig. 11 (variant)",
+                    "wrc+addrs: no fence, allowed on Power", R"(
+Power wrc+addrs
+P0:
+  st x, #1
+P1:
+  ld r1, x
+  xor r2, r1, r1
+  st y[r2], #1
+P2:
+  ld r1, y
+  xor r2, r1, r1
+  ld r3, x[r2]
+exists (1:r1=1 /\ 2:r1=1 /\ 2:r3=0)
+)",
+                    {{"TSO", false}, {"Power", true}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 12: isa2.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 12",
+                    "isa2+lwsync+addr+addr forbidden (B-cumulativity)", R"(
+Power isa2+lwsync+addrs
+P0:
+  st x, #1
+  lwsync
+  st y, #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  st z[r2], #1
+P2:
+  ld r1, z
+  xor r2, r1, r1
+  ld r3, x[r2]
+exists (1:r1=1 /\ 2:r1=1 /\ 2:r3=0)
+)",
+                    {{"SC", false}, {"TSO", false}, {"Power", false}}));
+
+  C.push_back(entry("Fig. 12 (variant)", "bare isa2 allowed on Power", R"(
+Power isa2
+P0:
+  st x, #1
+  st y, #1
+P1:
+  ld r1, y
+  st z, #1
+P2:
+  ld r1, z
+  ld r2, x
+exists (1:r1=1 /\ 2:r1=1 /\ 2:r2=0)
+)",
+                    {{"Power", true}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 13: 2+2w and w+rw+2w.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 13(a)", "2+2w+lwsyncs forbidden (PROPAGATION)",
+                    R"(
+Power 2+2w+lwsyncs
+P0:
+  st x, #2
+  lwsync
+  st y, #1
+P1:
+  st y, #2
+  lwsync
+  st x, #1
+exists (x=2 /\ y=2)
+)",
+                    {{"SC", false}, {"TSO", false}, {"Power", false}}));
+
+  C.push_back(entry("Fig. 13(a) (variant)",
+                    "bare 2+2w allowed on Power, forbidden on TSO; C++ R-A "
+                    "allows it (HBVSMO is only irreflexive)",
+                    R"(
+Power 2+2w
+P0:
+  st x, #2
+  st y, #1
+P1:
+  st y, #2
+  st x, #1
+exists (x=2 /\ y=2)
+)",
+                    {{"SC", false},
+                     {"TSO", false},
+                     {"Power", true},
+                     {"ARM", true},
+                     {"C++RA", true}}));
+
+  C.push_back(entry("Fig. 13(b)", "w+rw+2w+lwsyncs forbidden", R"(
+Power w+rw+2w+lwsyncs
+P0:
+  st x, #2
+P1:
+  ld r1, x
+  lwsync
+  st y, #1
+P2:
+  st y, #2
+  lwsync
+  st x, #1
+exists (1:r1=2 /\ y=2 /\ x=2)
+)",
+                    {{"Power", false}}));
+
+  C.push_back(entry("Fig. 13(b) (variant)", "bare w+rw+2w allowed on Power",
+                    R"(
+Power w+rw+2w
+P0:
+  st x, #2
+P1:
+  ld r1, x
+  st y, #1
+P2:
+  st y, #2
+  st x, #1
+exists (1:r1=2 /\ y=2 /\ x=2)
+)",
+                    {{"Power", true}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 14: store buffering.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 14", "sb+ffences forbidden", R"(
+Power sb+syncs
+P0:
+  st x, #1
+  sync
+  ld r1, y
+P1:
+  st y, #1
+  sync
+  ld r1, x
+exists (0:r1=0 /\ 1:r1=0)
+)",
+                    {{"SC", false}, {"Power", false}}));
+
+  C.push_back(entry("Fig. 14 (variant)",
+                    "bare sb allowed even on TSO; forbidden on SC", R"(
+TSO sb
+P0:
+  st x, #1
+  ld r1, y
+P1:
+  st y, #1
+  ld r1, x
+exists (0:r1=0 /\ 1:r1=0)
+)",
+                    {{"SC", false},
+                     {"TSO", true},
+                     {"Power", true},
+                     {"ARM", true},
+                     {"C++RA", true}}));
+
+  C.push_back(entry("Fig. 14 (variant)", "sb+mfences forbidden on TSO", R"(
+TSO sb+mfences
+P0:
+  st x, #1
+  mfence
+  ld r1, y
+P1:
+  st y, #1
+  mfence
+  ld r1, x
+exists (0:r1=0 /\ 1:r1=0)
+)",
+                    {{"TSO", false}}));
+
+  C.push_back(entry("Fig. 14 (variant)",
+                    "sb+lwsyncs allowed: lwsync does not order WR pairs",
+                    R"(
+Power sb+lwsyncs
+P0:
+  st x, #1
+  lwsync
+  ld r1, y
+P1:
+  st y, #1
+  lwsync
+  ld r1, x
+exists (0:r1=0 /\ 1:r1=0)
+)",
+                    {{"Power", true}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 15: rwc.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 15", "rwc+ffences forbidden", R"(
+Power rwc+syncs
+P0:
+  st x, #1
+P1:
+  ld r1, x
+  sync
+  ld r2, y
+P2:
+  st y, #1
+  sync
+  ld r1, x
+exists (1:r1=1 /\ 1:r2=0 /\ 2:r1=0)
+)",
+                    {{"SC", false}, {"Power", false}}));
+
+  C.push_back(entry("Fig. 15 (variant)",
+                    "rwc+lwsyncs allowed: needs full fences", R"(
+Power rwc+lwsyncs
+P0:
+  st x, #1
+P1:
+  ld r1, x
+  lwsync
+  ld r2, y
+P2:
+  st y, #1
+  lwsync
+  ld r1, x
+exists (1:r1=1 /\ 1:r2=0 /\ 2:r1=0)
+)",
+                    {{"Power", true}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 16: r and s.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 16", "r+ffences forbidden", R"(
+Power r+syncs
+P0:
+  st x, #1
+  sync
+  st y, #1
+P1:
+  st y, #2
+  sync
+  ld r1, x
+exists (y=2 /\ 1:r1=0)
+)",
+                    {{"SC", false}, {"Power", false}}));
+
+  C.push_back(entry("Fig. 16 (variant)",
+                    "r+lwsync+sync allowed by the model (architect's "
+                    "intent; unobserved on hardware)",
+                    R"(
+Power r+lwsync+sync
+P0:
+  st x, #1
+  lwsync
+  st y, #1
+P1:
+  st y, #2
+  sync
+  ld r1, x
+exists (y=2 /\ 1:r1=0)
+)",
+                    {{"Power", true}}));
+
+  C.push_back(entry("Fig. 16", "s+lwfence+ppo forbidden", R"(
+Power s+lwsync+addr
+P0:
+  st x, #2
+  lwsync
+  st y, #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  st x[r2], #1
+exists (1:r1=1 /\ x=2)
+)",
+                    {{"SC", false}, {"Power", false}}));
+
+  C.push_back(entry("Fig. 39", "bare s allowed on Power", R"(
+Power s
+P0:
+  st x, #2
+  st y, #1
+P1:
+  ld r1, y
+  st x, #1
+exists (1:r1=1 /\ x=2)
+)",
+                    {{"SC", false}, {"Power", true}, {"ARM", true}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 19: w+rwc and eieio.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 19",
+                    "w+rwc+eieio+addr+sync allowed: eieio only orders "
+                    "write-write pairs, and the pattern has two fr steps",
+                    R"(
+Power w+rwc+eieio+addr+sync
+P0:
+  st x, #1
+  eieio
+  st y, #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  ld r3, z[r2]
+P2:
+  st z, #1
+  sync
+  ld r1, x
+exists (1:r1=1 /\ 1:r3=0 /\ 2:r1=0)
+)",
+                    {{"Power", true}}));
+
+  C.push_back(entry("Fig. 19 (variant)",
+                    "w+rwc+sync+addr+sync forbidden: full fence restores "
+                    "the ordering",
+                    R"(
+Power w+rwc+sync+addr+sync
+P0:
+  st x, #1
+  sync
+  st y, #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  ld r3, z[r2]
+P2:
+  st z, #1
+  sync
+  ld r1, x
+exists (1:r1=1 /\ 1:r3=0 /\ 2:r1=0)
+)",
+                    {{"Power", false}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 20: iriw.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 20", "iriw+ffences forbidden", R"(
+Power iriw+syncs
+P0:
+  st x, #1
+P1:
+  ld r1, x
+  sync
+  ld r2, y
+P2:
+  st y, #1
+P3:
+  ld r1, y
+  sync
+  ld r2, x
+exists (1:r1=1 /\ 1:r2=0 /\ 3:r1=1 /\ 3:r2=0)
+)",
+                    {{"SC", false}, {"Power", false}}));
+
+  C.push_back(entry("Fig. 20 (variant)",
+                    "iriw+lwsyncs allowed: the famous lwsync weakness", R"(
+Power iriw+lwsyncs
+P0:
+  st x, #1
+P1:
+  ld r1, x
+  lwsync
+  ld r2, y
+P2:
+  st y, #1
+P3:
+  ld r1, y
+  lwsync
+  ld r2, x
+exists (1:r1=1 /\ 1:r2=0 /\ 3:r1=1 /\ 3:r2=0)
+)",
+                    {{"Power", true}}));
+
+  C.push_back(entry("Fig. 20 (ARM)", "iriw+dmbs forbidden on ARM", R"(
+ARM iriw+dmbs
+P0:
+  st x, #1
+P1:
+  ld r1, x
+  dmb
+  ld r2, y
+P2:
+  st y, #1
+P3:
+  ld r1, y
+  dmb
+  ld r2, x
+exists (1:r1=1 /\ 1:r2=0 /\ 3:r1=1 /\ 3:r2=0)
+)",
+                    {{"ARM", false}, {"ARM llh", false}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 29: lb+addrs+ww vs lb+datas+ww.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 29",
+                    "lb+addrs+ww forbidden: addr;po is in cc0", R"(
+Power lb+addrs+ww
+P0:
+  ld r1, x
+  xor r2, r1, r1
+  st y[r2], #1
+  st z, #1
+P1:
+  ld r3, z
+  xor r4, r3, r3
+  st w[r4], #1
+  st x, #1
+exists (0:r1=1 /\ 1:r3=1)
+)",
+                    {{"Power", false}}));
+
+  C.push_back(entry("Fig. 29 (variant)",
+                    "lb+datas+ww allowed and observed: data;po is not in "
+                    "cc0",
+                    R"(
+Power lb+datas+ww
+P0:
+  ld r1, x
+  st y, r1
+  st z, #1
+P1:
+  ld r3, z
+  st w, r3
+  st x, #1
+exists (0:r1=1 /\ 1:r3=1)
+)",
+                    {{"Power", true}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 31/34: observed ARM anomalies (core patterns).
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 31", "coRSDWI: a coRR violation on z; forbidden "
+                               "by ARM, tolerated by ARM llh",
+                    R"(
+ARM coRSDWI
+P0:
+  st z, #1
+P1:
+  ld r1, z
+  ld r2, z
+P2:
+  st z, #2
+exists (1:r1=2 /\ 1:r2=1 /\ z=2)
+)",
+                    {{"ARM", false}, {"ARM llh", true}},
+                    "core coRR violation of the observed coRSDWI "
+                    "behaviour"));
+
+  C.push_back(entry("Fig. 34",
+                    "moredetour0052: a coRW2 violation; forbidden even "
+                    "under ARM llh",
+                    R"(
+ARM moredetour0052
+P0:
+  ld r1, y
+  st y, #3
+P1:
+  st y, #4
+exists (0:r1=4 /\ y=4)
+)",
+                    {{"ARM", false}, {"ARM llh", false}},
+                    "core coRW2 violation of the observed moredetour0052 "
+                    "behaviour"));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 32/33: early-commit behaviours (Power-ARM vs proposed ARM).
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 32",
+                    "mp+dmb+fri-rfi-ctrlisb: desired on ARM; the Power-ARM "
+                    "model wrongly forbids it",
+                    R"(
+ARM mp+dmb+fri-rfi-ctrlisb
+P0:
+  st x, #1
+  dmb
+  st y, #1
+P1:
+  ld r1, y
+  st y, #2
+  ld r2, y
+  beq r2
+  isb
+  ld r3, x
+exists (1:r1=1 /\ 1:r2=2 /\ 1:r3=0)
+)",
+                    {{"ARM", true}, {"Power-ARM", false}}));
+
+  C.push_back(entry("Fig. 33",
+                    "lb+data+fri-rfi-ctrl: allowed by the proposed ARM "
+                    "model",
+                    R"(
+ARM lb+data+fri-rfi-ctrl
+P0:
+  ld r1, x
+  st y, r1
+P1:
+  ld r1, y
+  st y, #2
+  ld r2, y
+  beq r2
+  st x, #1
+exists (0:r1=1 /\ 1:r1=1 /\ 1:r2=2)
+)",
+                    {{"ARM", true}, {"Power-ARM", false}}));
+
+  C.push_back(entry("Fig. 33",
+                    "s+dmb+fri-rfi-data: allowed by the proposed ARM model",
+                    R"(
+ARM s+dmb+fri-rfi-data
+P0:
+  st x, #2
+  dmb
+  st y, #1
+P1:
+  mov r5, #1
+  ld r1, y
+  st y, #2
+  ld r2, y
+  xor r3, r2, r2
+  add r4, r3, r5
+  st x, r4
+exists (1:r1=1 /\ 1:r2=2 /\ x=2)
+)",
+                    {{"ARM", true}, {"Power-ARM", false}},
+                    "the data dependency flows through xor+add so the "
+                    "stored value stays 1"));
+
+  C.push_back(entry("Fig. 33",
+                    "lb+data+data-wsi-rfi-addr: allowed by the proposed "
+                    "ARM model",
+                    R"(
+ARM lb+data+data-wsi-rfi-addr
+P0:
+  ld r1, x
+  st y, r1
+P1:
+  ld r1, y
+  st z, r1
+  st z, #2
+  ld r2, z
+  xor r3, r2, r2
+  st x[r3], #1
+exists (0:r1=1 /\ 1:r1=1 /\ 1:r2=2)
+)",
+                    {{"ARM", true}, {"Power-ARM", false}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 35: OBSERVATION anomaly that survives llh.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 35",
+                    "mp+dmb+pos-ctrlisb+bis: violates OBSERVATION; "
+                    "observed only as a Tegra3 anomaly",
+                    R"(
+ARM mp+dmb+pos-ctrlisb+bis
+P0:
+  st x, #1
+  dmb
+  st y, #1
+P1:
+  ld r1, y
+  ld r2, y
+  beq r2
+  isb
+  ld r3, x
+P2:
+  st y, #2
+exists (1:r1=1 /\ 1:r2=1 /\ 1:r3=0)
+)",
+                    {{"ARM", false}, {"ARM llh", false}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 36/37: the tests separating our Power model from prior models.
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 36",
+                    "mp+lwsync+addr-po-detour: observed on Power hardware; "
+                    "wrongly forbidden by the PLDI'11 model, allowed by "
+                    "ours",
+                    R"(
+Power mp+lwsync+addr-po-detour
+P0:
+  st x, #2
+  lwsync
+  st y, #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  ld r3, z[r2]
+  ld r4, x
+P2:
+  st x, #1
+  ld r5, x
+exists (1:r1=1 /\ 1:r3=0 /\ 1:r4=0 /\ 2:r5=2 /\ x=2)
+)",
+                    {{"Power", true}}));
+
+  C.push_back(entry("Fig. 37",
+                    "mp+lwsync+addr-bigdetour-addr: allowed by our model, "
+                    "forbidden by the CAV'12 model, unobserved",
+                    R"(
+Power mp+lwsync+addr-bigdetour-addr
+P0:
+  st x, #1
+  lwsync
+  st y, #1
+P1:
+  ld r1, y
+  xor r2, r1, r1
+  ld r3, z[r2]
+  ld r4, w
+  xor r5, r4, r4
+  ld r6, x[r5]
+P2:
+  st z, #1
+  lwsync
+  st w, #1
+exists (1:r1=1 /\ 1:r3=0 /\ 1:r4=1 /\ 1:r6=0)
+)",
+                    {{"Power", true}}));
+
+  //===------------------------------------------------------------------===//
+  // Fig. 39: ww+rw+r (extended s).
+  //===------------------------------------------------------------------===//
+
+  C.push_back(entry("Fig. 39",
+                    "ww+rw+r: the s pattern with the reading thread made "
+                    "explicit",
+                    R"(
+Power ww+rw+r
+P0:
+  st x, #2
+  st y, #1
+P1:
+  ld r1, y
+  st x, #1
+P2:
+  ld r2, x
+exists (1:r1=1 /\ 2:r2=1 /\ x=2)
+)",
+                    {{"SC", false}, {"Power", true}}));
+
+  return C;
+}
+
+} // namespace
+
+const std::vector<CatalogEntry> &cats::figureCatalog() {
+  static std::vector<CatalogEntry> C = buildCatalog();
+  return C;
+}
+
+const CatalogEntry *cats::catalogEntry(const std::string &TestName) {
+  for (const CatalogEntry &E : figureCatalog())
+    if (E.Test.Name == TestName)
+      return &E;
+  return nullptr;
+}

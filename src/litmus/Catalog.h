@@ -1,0 +1,54 @@
+//===- Catalog.h - The paper's litmus tests, with verdicts ----*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every litmus pattern that appears as a figure in the paper (Figs. 6-20,
+/// 27-37, 39 and the named variants discussed in the text), encoded in the
+/// pseudo-ISA, together with the verdict the paper assigns to it under each
+/// relevant model. The catalogue powers both the unit tests (our models must
+/// reproduce every documented verdict) and bench_figures (which prints the
+/// paper-vs-measured table).
+///
+/// Tests observed only as hardware anomalies (Figs. 31/34) are encoded by
+/// their core violation pattern; the entry's Notes field says so.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_LITMUS_CATALOG_H
+#define CATS_LITMUS_CATALOG_H
+
+#include "litmus/LitmusTest.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// One catalogue entry.
+struct CatalogEntry {
+  /// Paper reference, e.g. "Fig. 8".
+  std::string Figure;
+  /// What the paper says, e.g. "forbidden on Power".
+  std::string PaperVerdict;
+  /// Free-form notes (substitutions, reconstruction caveats).
+  std::string Notes;
+  LitmusTest Test;
+  /// Expected reachability of the final condition per model display name:
+  /// true = Allow, false = Forbid. Only models with a documented verdict
+  /// appear.
+  std::map<std::string, bool> Expected;
+};
+
+/// The full figure catalogue, in paper order.
+const std::vector<CatalogEntry> &figureCatalog();
+
+/// Looks up a catalogue entry by test name; nullptr when absent.
+const CatalogEntry *catalogEntry(const std::string &TestName);
+
+} // namespace cats
+
+#endif // CATS_LITMUS_CATALOG_H

@@ -1,0 +1,93 @@
+//===- Compiler.h - Litmus tests -> execution skeletons -------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a litmus test into an execution skeleton: the control-flow
+/// semantics of Sec. 3. The skeleton holds the memory events, program order,
+/// dependency relations (addr/data/ctrl/ctrl+cfence derived per Fig. 22 by a
+/// register-taint rendering of dd-reg = (rf-reg | iico)+), and fence
+/// relations. Candidate executions (Sec. 3, data-flow semantics) are then
+/// obtained by choosing an rf map and a coherence order and concretising the
+/// register data-flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_LITMUS_COMPILER_H
+#define CATS_LITMUS_COMPILER_H
+
+#include "event/Execution.h"
+#include "litmus/LitmusTest.h"
+#include "support/Error.h"
+
+#include <vector>
+
+namespace cats {
+
+/// One fully concretised candidate execution plus its observable outcome.
+struct Candidate {
+  Execution Exe;
+  Outcome Out;
+  /// False when the register data-flow failed to reach a fixpoint under the
+  /// chosen rf (an unstable value cycle); such candidates are discarded.
+  bool Consistent = true;
+};
+
+/// A compiled litmus test. The structural skeleton is shared by all
+/// candidates of the test.
+class CompiledTest {
+public:
+  /// Compiles \p Test; fails on validation errors.
+  static Expected<CompiledTest> compile(const LitmusTest &Test);
+
+  /// The source test.
+  const LitmusTest &test() const { return Source; }
+
+  /// Structural execution: events, po, dependencies and fences filled in;
+  /// Rf and Co left empty.
+  const Execution &skeleton() const { return Skeleton; }
+
+  /// Program read events in a canonical order (thread-major, then po).
+  const std::vector<EventId> &reads() const { return ReadEvents; }
+
+  /// For each entry of reads(): the writes (same location, including the
+  /// initial write) that the read may take its value from.
+  const std::vector<std::vector<EventId>> &candidateWrites() const {
+    return CandidateWritesPerRead;
+  }
+
+  /// All coherence orders: per location, every permutation of the program
+  /// writes, with the initial write first (the paper's convention). Each
+  /// result is a transitively-closed per-location total order.
+  std::vector<Relation> allCoherenceOrders() const;
+
+  /// Builds the candidate for rf choice \p WriteForRead (parallel to
+  /// reads()) and coherence order \p Co, re-running the register data-flow
+  /// to a fixpoint to compute read/write values and the outcome.
+  Candidate concretize(const std::vector<EventId> &WriteForRead,
+                       const Relation &Co) const;
+
+  /// Number of candidate executions (product of rf choices times coherence
+  /// permutations), before consistency filtering.
+  unsigned long long candidateCount() const;
+
+private:
+  CompiledTest() = default;
+
+  void buildEvents();
+  void buildDependencies();
+  void buildFences();
+
+  LitmusTest Source;
+  Execution Skeleton;
+  /// EventForInstr[T][I]: memory event of instruction I of thread T, or -1.
+  std::vector<std::vector<int>> EventForInstr;
+  std::vector<EventId> ReadEvents;
+  std::vector<std::vector<EventId>> CandidateWritesPerRead;
+};
+
+} // namespace cats
+
+#endif // CATS_LITMUS_COMPILER_H

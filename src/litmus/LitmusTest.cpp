@@ -1,0 +1,258 @@
+//===- LitmusTest.cpp - Litmus tests and final conditions -----------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/LitmusTest.h"
+
+#include "event/Execution.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cats;
+
+std::string Instruction::toString() const {
+  switch (Op) {
+  case Opcode::Load:
+    if (AddrDep >= 0)
+      return strFormat("ld r%d, %s[r%d]", Dst, Loc.c_str(), AddrDep);
+    return strFormat("ld r%d, %s", Dst, Loc.c_str());
+  case Opcode::Store: {
+    std::string Target =
+        AddrDep >= 0 ? strFormat("%s[r%d]", Loc.c_str(), AddrDep) : Loc;
+    if (Src1.isImm())
+      return strFormat("st %s, #%lld", Target.c_str(),
+                       static_cast<long long>(Src1.asImm()));
+    return strFormat("st %s, r%d", Target.c_str(), Src1.asReg());
+  }
+  case Opcode::Move:
+    if (Src1.isImm())
+      return strFormat("mov r%d, #%lld", Dst,
+                       static_cast<long long>(Src1.asImm()));
+    return strFormat("mov r%d, r%d", Dst, Src1.asReg());
+  case Opcode::Xor:
+    return strFormat("xor r%d, r%d, r%d", Dst, Src1.asReg(), Src2.asReg());
+  case Opcode::Add:
+    return strFormat("add r%d, r%d, r%d", Dst, Src1.asReg(), Src2.asReg());
+  case Opcode::CmpBranch:
+    return strFormat("beq r%d", Src1.asReg());
+  case Opcode::Fence:
+    return FenceName;
+  }
+  return "<bad instruction>";
+}
+
+bool cats::parseArch(const std::string &Name, Arch &Out) {
+  if (Name == "SC") {
+    Out = Arch::SC;
+    return true;
+  }
+  if (Name == "TSO" || Name == "X86" || Name == "x86") {
+    Out = Arch::TSO;
+    return true;
+  }
+  if (Name == "Power" || Name == "PPC" || Name == "POWER") {
+    Out = Arch::Power;
+    return true;
+  }
+  if (Name == "ARM" || Name == "Arm") {
+    Out = Arch::ARM;
+    return true;
+  }
+  if (Name == "C++RA" || Name == "CppRA" || Name == "RA") {
+    Out = Arch::CppRA;
+    return true;
+  }
+  return false;
+}
+
+std::string cats::archName(Arch A) {
+  switch (A) {
+  case Arch::SC:
+    return "SC";
+  case Arch::TSO:
+    return "TSO";
+  case Arch::Power:
+    return "Power";
+  case Arch::ARM:
+    return "ARM";
+  case Arch::CppRA:
+    return "C++RA";
+  }
+  return "?";
+}
+
+bool cats::archHasFence(Arch A, const std::string &FenceName) {
+  switch (A) {
+  case Arch::SC:
+  case Arch::CppRA:
+    return false;
+  case Arch::TSO:
+    return FenceName == fence::MFence;
+  case Arch::Power:
+    return FenceName == fence::Sync || FenceName == fence::LwSync ||
+           FenceName == fence::Eieio || FenceName == fence::ISync;
+  case Arch::ARM:
+    return FenceName == fence::Dmb || FenceName == fence::Dsb ||
+           FenceName == fence::DmbSt || FenceName == fence::DsbSt ||
+           FenceName == fence::Isb;
+  }
+  return false;
+}
+
+std::string ConditionAtom::toString() const {
+  if (AtomKind == Kind::RegEquals)
+    return strFormat("%d:r%d=%lld", Thread, Reg,
+                     static_cast<long long>(Val));
+  return strFormat("%s=%lld", Loc.c_str(), static_cast<long long>(Val));
+}
+
+std::string Condition::toString() const {
+  if (trivial())
+    return "exists (true)";
+  std::vector<std::string> DisjunctStrings;
+  for (const auto &Conj : Disjuncts) {
+    std::vector<std::string> AtomStrings;
+    for (const auto &Atom : Conj)
+      AtomStrings.push_back(Atom.toString());
+    DisjunctStrings.push_back(joinStrings(AtomStrings, " /\\ "));
+  }
+  return "exists (" + joinStrings(DisjunctStrings, " \\/ ") + ")";
+}
+
+Value Outcome::reg(ThreadId T, Register R) const {
+  if (T < 0 || static_cast<size_t>(T) >= Regs.size())
+    return 0;
+  auto It = Regs[T].find(R);
+  return It == Regs[T].end() ? 0 : It->second;
+}
+
+Value Outcome::mem(const std::string &Loc) const {
+  auto It = Memory.find(Loc);
+  return It == Memory.end() ? 0 : It->second;
+}
+
+bool Outcome::satisfies(const Condition &Cond) const {
+  if (Cond.trivial())
+    return true;
+  for (const auto &Conj : Cond.Disjuncts) {
+    bool All = true;
+    for (const auto &Atom : Conj) {
+      Value Actual = Atom.AtomKind == ConditionAtom::Kind::RegEquals
+                         ? reg(Atom.Thread, Atom.Reg)
+                         : mem(Atom.Loc);
+      if (Actual != Atom.Val) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+std::string Outcome::key() const {
+  std::string Out;
+  for (size_t T = 0; T < Regs.size(); ++T)
+    for (const auto &[R, V] : Regs[T])
+      Out += strFormat("%zu:r%d=%lld;", T, R, static_cast<long long>(V));
+  for (const auto &[Loc, V] : Memory)
+    Out += strFormat("%s=%lld;", Loc.c_str(), static_cast<long long>(V));
+  return Out;
+}
+
+std::vector<std::string> LitmusTest::locations() const {
+  std::vector<std::string> Out;
+  std::set<std::string> Seen;
+  auto Note = [&](const std::string &Loc) {
+    if (!Loc.empty() && Seen.insert(Loc).second)
+      Out.push_back(Loc);
+  };
+  for (const auto &Thread : Threads)
+    for (const auto &Instr : Thread)
+      Note(Instr.Loc);
+  for (const auto &[Loc, _] : Init)
+    Note(Loc);
+  for (const auto &Conj : Final.Disjuncts)
+    for (const auto &Atom : Conj)
+      if (Atom.AtomKind == ConditionAtom::Kind::MemEquals)
+        Note(Atom.Loc);
+  return Out;
+}
+
+std::string LitmusTest::validate() const {
+  for (size_t T = 0; T < Threads.size(); ++T) {
+    for (size_t I = 0; I < Threads[T].size(); ++I) {
+      const Instruction &Instr = Threads[T][I];
+      auto Where = [&](const char *Problem) {
+        return strFormat("P%zu instruction %zu (%s): %s", T, I,
+                         Instr.toString().c_str(), Problem);
+      };
+      switch (Instr.Op) {
+      case Opcode::Load:
+        if (Instr.Dst < 0)
+          return Where("load needs a destination register");
+        if (Instr.Loc.empty())
+          return Where("load needs a location");
+        break;
+      case Opcode::Store:
+        if (Instr.Loc.empty())
+          return Where("store needs a location");
+        if (Instr.Src1.OpKind == Operand::Kind::None)
+          return Where("store needs a source operand");
+        break;
+      case Opcode::Move:
+        if (Instr.Dst < 0 || Instr.Src1.OpKind == Operand::Kind::None)
+          return Where("mov needs a destination and a source");
+        break;
+      case Opcode::Xor:
+      case Opcode::Add:
+        if (Instr.Dst < 0 || !Instr.Src1.isReg() || !Instr.Src2.isReg())
+          return Where("alu op needs a destination and two registers");
+        break;
+      case Opcode::CmpBranch:
+        if (!Instr.Src1.isReg())
+          return Where("branch needs a register");
+        break;
+      case Opcode::Fence:
+        if (!archHasFence(TargetArch, Instr.FenceName) &&
+            !Instr.isControlFence())
+          return Where(strFormat("fence '%s' is not available on %s",
+                                 Instr.FenceName.c_str(),
+                                 archName(TargetArch).c_str())
+                           .c_str());
+        if (Instr.isControlFence() && !archHasFence(TargetArch,
+                                                    Instr.FenceName))
+          return Where(strFormat("control fence '%s' is not available on %s",
+                                 Instr.FenceName.c_str(),
+                                 archName(TargetArch).c_str())
+                           .c_str());
+        break;
+      }
+    }
+  }
+  return "";
+}
+
+std::string LitmusTest::toString() const {
+  std::string Out = archName(TargetArch) + " " + Name + "\n{ ";
+  bool First = true;
+  for (const auto &[Loc, V] : Init) {
+    if (!First)
+      Out += "; ";
+    First = false;
+    Out += strFormat("%s=%lld", Loc.c_str(), static_cast<long long>(V));
+  }
+  Out += " }\n";
+  for (size_t T = 0; T < Threads.size(); ++T) {
+    Out += strFormat("P%zu:\n", T);
+    for (const auto &Instr : Threads[T])
+      Out += "  " + Instr.toString() + "\n";
+  }
+  Out += Final.toString() + "\n";
+  return Out;
+}

@@ -1,0 +1,138 @@
+//===- LitmusTest.h - Litmus tests and final conditions -------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A litmus test: a small multi-threaded program with an initial state and a
+/// final condition, in the diy tradition (Sec. 8.1). The condition is an
+/// existential query over final register and memory values; a test's
+/// interesting behaviour is "can the condition be reached".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_LITMUS_LITMUSTEST_H
+#define CATS_LITMUS_LITMUSTEST_H
+
+#include "event/Event.h"
+#include "litmus/Instruction.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// Architectures a litmus test can target. The architecture constrains the
+/// fences the test may use and selects the model instance the simulators
+/// apply by default.
+enum class Arch : uint8_t { SC, TSO, Power, ARM, CppRA };
+
+/// Parses "SC" / "TSO" / "X86" / "Power" / "PPC" / "ARM" / "C++RA".
+/// Returns false on unknown names.
+bool parseArch(const std::string &Name, Arch &Out);
+
+/// Canonical display name.
+std::string archName(Arch A);
+
+/// True if fence \p FenceName is available on \p A.
+bool archHasFence(Arch A, const std::string &FenceName);
+
+/// One conjunct of a final condition.
+struct ConditionAtom {
+  enum class Kind : uint8_t {
+    RegEquals, ///< Thread's register holds Value.
+    MemEquals  ///< Memory location holds Value in the final state.
+  };
+  Kind AtomKind = Kind::RegEquals;
+  ThreadId Thread = 0;
+  Register Reg = 0;
+  std::string Loc;
+  Value Val = 0;
+
+  static ConditionAtom regEquals(ThreadId T, Register R, Value V) {
+    ConditionAtom A;
+    A.AtomKind = Kind::RegEquals;
+    A.Thread = T;
+    A.Reg = R;
+    A.Val = V;
+    return A;
+  }
+  static ConditionAtom memEquals(std::string Loc, Value V) {
+    ConditionAtom A;
+    A.AtomKind = Kind::MemEquals;
+    A.Loc = std::move(Loc);
+    A.Val = V;
+    return A;
+  }
+
+  std::string toString() const;
+};
+
+/// A final condition in disjunctive normal form: exists (C1 \/ C2 \/ ...)
+/// where each Ci is a conjunction of atoms. An empty DNF is "exists true".
+struct Condition {
+  std::vector<std::vector<ConditionAtom>> Disjuncts;
+
+  /// Adds one conjunction.
+  void addConjunction(std::vector<ConditionAtom> Atoms) {
+    Disjuncts.push_back(std::move(Atoms));
+  }
+
+  bool trivial() const { return Disjuncts.empty(); }
+  std::string toString() const;
+};
+
+/// The observable final state of one program execution: per-thread register
+/// files and the final memory contents.
+struct Outcome {
+  /// Final register values: Regs[Thread][Register]; registers not written
+  /// read as 0.
+  std::vector<std::map<Register, Value>> Regs;
+  /// Final memory values by location name.
+  std::map<std::string, Value> Memory;
+
+  Value reg(ThreadId T, Register R) const;
+  Value mem(const std::string &Loc) const;
+
+  /// Evaluates \p Cond against this outcome.
+  bool satisfies(const Condition &Cond) const;
+
+  /// Canonical textual key, usable as a set element when collecting the
+  /// distinct final states of a test.
+  std::string key() const;
+
+  bool operator<(const Outcome &Other) const { return key() < Other.key(); }
+  bool operator==(const Outcome &Other) const { return key() == Other.key(); }
+};
+
+/// A complete litmus test.
+struct LitmusTest {
+  std::string Name;
+  Arch TargetArch = Arch::SC;
+  std::vector<ThreadCode> Threads;
+  /// Initial memory values; locations referenced by the code but absent
+  /// here start at 0.
+  std::map<std::string, Value> Init;
+  Condition Final;
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+  /// All location names used by loads/stores plus initialised ones, in
+  /// first-use order.
+  std::vector<std::string> locations() const;
+
+  /// Sanity checks: fences legal for the architecture, registers in range,
+  /// branch/arith operands defined. Returns an explanatory error otherwise.
+  std::string validate() const;
+
+  /// Renders in the text format understood by parseLitmus.
+  std::string toString() const;
+};
+
+} // namespace cats
+
+#endif // CATS_LITMUS_LITMUSTEST_H

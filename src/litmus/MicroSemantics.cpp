@@ -1,0 +1,310 @@
+//===- MicroSemantics.cpp - Instruction semantics as micro-events ----------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/MicroSemantics.h"
+
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace cats;
+
+std::string MicroEvent::toString() const {
+  switch (Kind) {
+  case MicroKind::MemRead:
+    return strFormat("R%s", Loc.c_str());
+  case MicroKind::MemWrite:
+    return strFormat("W%s", Loc.c_str());
+  case MicroKind::RegRead:
+    if (Reg == ConditionRegister)
+      return "RCR0";
+    return strFormat("Rr%d", Reg);
+  case MicroKind::RegWrite:
+    if (Reg == ConditionRegister)
+      return "WCR0";
+    return strFormat("Wr%d", Reg);
+  case MicroKind::Branch:
+    return "branch";
+  case MicroKind::Fence:
+    return FenceName;
+  }
+  return "?";
+}
+
+MicroGraph MicroGraph::build(const LitmusTest &Test, ThreadId Thread) {
+  MicroGraph Graph;
+  assert(Thread >= 0 &&
+         static_cast<size_t>(Thread) < Test.Threads.size() &&
+         "thread out of range");
+  const ThreadCode &Code = Test.Threads[Thread];
+
+  // First pass: create the events and the iico edges, remembering them as
+  // (from, to) pairs since the universe size is unknown until the end.
+  std::vector<std::pair<EventId, EventId>> IicoPairs;
+  std::vector<std::vector<EventId>> PerInstr(Code.size());
+
+  auto Add = [&](int Instr, MicroKind Kind, Register Reg,
+                 const std::string &Loc, const std::string &Fence,
+                 MicroPort Port) {
+    MicroEvent E;
+    E.Id = static_cast<EventId>(Graph.Events.size());
+    E.Thread = Thread;
+    E.InstrIndex = Instr;
+    E.Kind = Kind;
+    E.Reg = Reg;
+    E.Loc = Loc;
+    E.FenceName = Fence;
+    E.Port = Port;
+    Graph.Events.push_back(E);
+    PerInstr[Instr].push_back(E.Id);
+    return E.Id;
+  };
+
+  for (size_t I = 0; I < Code.size(); ++I) {
+    const Instruction &Instr = Code[I];
+    int Idx = static_cast<int>(I);
+    switch (Instr.Op) {
+    case Opcode::Load: {
+      // "lwz r2,0(r1)": read the address register(s), read memory, write
+      // the destination register (Sec. 5's load diagram).
+      EventId Mem = Add(Idx, MicroKind::MemRead, -1, Instr.Loc, "",
+                        MicroPort::None);
+      if (Instr.AddrDep >= 0) {
+        EventId AddrIn = Add(Idx, MicroKind::RegRead, Instr.AddrDep, "",
+                             "", MicroPort::Address);
+        IicoPairs.push_back({AddrIn, Mem});
+      }
+      EventId Out = Add(Idx, MicroKind::RegWrite, Instr.Dst, "", "",
+                        MicroPort::None);
+      IicoPairs.push_back({Mem, Out});
+      break;
+    }
+    case Opcode::Store: {
+      // "stw r1,0(r2)": read address and value registers, then write
+      // memory.
+      EventId Mem = Add(Idx, MicroKind::MemWrite, -1, Instr.Loc, "",
+                        MicroPort::None);
+      if (Instr.AddrDep >= 0) {
+        EventId AddrIn = Add(Idx, MicroKind::RegRead, Instr.AddrDep, "",
+                             "", MicroPort::Address);
+        IicoPairs.push_back({AddrIn, Mem});
+      }
+      if (Instr.Src1.isReg()) {
+        EventId ValIn = Add(Idx, MicroKind::RegRead, Instr.Src1.asReg(),
+                            "", "", MicroPort::Value);
+        IicoPairs.push_back({ValIn, Mem});
+      }
+      break;
+    }
+    case Opcode::Move: {
+      EventId Out = Add(Idx, MicroKind::RegWrite, Instr.Dst, "", "",
+                        MicroPort::None);
+      if (Instr.Src1.isReg()) {
+        EventId In = Add(Idx, MicroKind::RegRead, Instr.Src1.asReg(), "",
+                         "", MicroPort::None);
+        IicoPairs.push_back({In, Out});
+      }
+      break;
+    }
+    case Opcode::Xor:
+    case Opcode::Add: {
+      // "xor r9,r1,r1": two register reads feeding a register write.
+      EventId Out = Add(Idx, MicroKind::RegWrite, Instr.Dst, "", "",
+                        MicroPort::None);
+      EventId A = Add(Idx, MicroKind::RegRead, Instr.Src1.asReg(), "",
+                      "", MicroPort::None);
+      EventId B = Add(Idx, MicroKind::RegRead, Instr.Src2.asReg(), "",
+                      "", MicroPort::None);
+      IicoPairs.push_back({A, Out});
+      IicoPairs.push_back({B, Out});
+      break;
+    }
+    case Opcode::CmpBranch: {
+      // Faithful two-stage expansion: "cmpwi rS" writes CR0, "bne" reads
+      // CR0 and emits the branching decision. Both stages live in this
+      // fused instruction, chained through rf-reg on CR0.
+      EventId CmpIn = Add(Idx, MicroKind::RegRead, Instr.Src1.asReg(),
+                          "", "", MicroPort::Condition);
+      EventId CmpOut = Add(Idx, MicroKind::RegWrite, ConditionRegister,
+                           "", "", MicroPort::None);
+      IicoPairs.push_back({CmpIn, CmpOut});
+      EventId BrIn = Add(Idx, MicroKind::RegRead, ConditionRegister, "",
+                         "", MicroPort::Condition);
+      EventId Br =
+          Add(Idx, MicroKind::Branch, -1, "", "", MicroPort::None);
+      IicoPairs.push_back({BrIn, Br});
+      break;
+    }
+    case Opcode::Fence:
+      Add(Idx, MicroKind::Fence, -1, "", Instr.FenceName,
+          MicroPort::None);
+      break;
+    }
+  }
+
+  unsigned N = static_cast<unsigned>(Graph.Events.size());
+  Graph.Iico = Relation::fromPairs(N, IicoPairs);
+
+  // Program order: all events of earlier instructions before all events
+  // of later instructions.
+  Graph.Po = Relation(N);
+  for (size_t I = 0; I < Code.size(); ++I)
+    for (size_t J = I + 1; J < Code.size(); ++J)
+      for (EventId From : PerInstr[I])
+        for (EventId To : PerInstr[J])
+          Graph.Po.set(From, To);
+
+  // rf-reg: each register read takes its value from the latest register
+  // write to the same register that precedes it (iico within the
+  // instruction decides "before" for same-instruction pairs: the branch's
+  // CR0 read is iico-after the comparison's CR0 write).
+  Graph.RfReg = Relation(N);
+  for (const MicroEvent &Read : Graph.Events) {
+    if (Read.Kind != MicroKind::RegRead)
+      continue;
+    int Latest = -1;
+    for (const MicroEvent &Write : Graph.Events) {
+      if (Write.Kind != MicroKind::RegWrite || Write.Reg != Read.Reg)
+        continue;
+      // "Before" is program order, or creation order within one
+      // instruction (the comparison's CR0 write precedes the branch's
+      // CR0 read inside the fused cmp+branch).
+      auto Before = [&](EventId A, EventId B) {
+        if (Graph.Po.test(A, B))
+          return true;
+        return Graph.Events[A].InstrIndex == Graph.Events[B].InstrIndex &&
+               A < B;
+      };
+      if (!Before(Write.Id, Read.Id))
+        continue;
+      if (Latest < 0 || Before(static_cast<EventId>(Latest), Write.Id))
+        Latest = static_cast<int>(Write.Id);
+    }
+    if (Latest >= 0)
+      Graph.RfReg.set(static_cast<EventId>(Latest), Read.Id);
+  }
+  return Graph;
+}
+
+Relation MicroGraph::ddReg() const {
+  // dd-reg = (rf-reg | iico)+ restricted to paths through registers and
+  // ALU operations only: data-flow does not pass *through* a memory
+  // access (Sec. 5.2), so memory events may appear only at the two ends
+  // of a dd-reg path.
+  unsigned N = static_cast<unsigned>(Events.size());
+  EventSet NonMem(N);
+  for (const MicroEvent &E : Events)
+    if (!E.isMemory())
+      NonMem.insert(E.Id);
+  Relation Step = RfReg | Iico;
+  Relation Inner = Step.restrict(NonMem, NonMem);
+  return Step | Step.restrictRange(NonMem)
+                    .compose(Inner.reflexiveTransitiveClosure())
+                    .compose(Step.restrictDomain(NonMem));
+}
+
+std::string MicroGraph::toString() const {
+  std::string Out;
+  int CurrentInstr = -1;
+  for (const MicroEvent &E : Events) {
+    if (E.InstrIndex != CurrentInstr) {
+      CurrentInstr = E.InstrIndex;
+      Out += strFormat("instr %d:\n", CurrentInstr);
+    }
+    Out += strFormat("  e%u: %s\n", E.Id, E.toString().c_str());
+  }
+  Out += "iico: " + Iico.toString() + "\n";
+  Out += "rf-reg: " + RfReg.toString() + "\n";
+  return Out;
+}
+
+MicroDeps cats::deriveDependencies(const CompiledTest &Compiled) {
+  const Execution &Skel = Compiled.skeleton();
+  const LitmusTest &Test = Compiled.test();
+  unsigned N = Skel.numEvents();
+  MicroDeps Deps{Relation(N), Relation(N), Relation(N), Relation(N)};
+
+  // Memory event of (thread, instruction index) in the skeleton.
+  std::map<std::pair<ThreadId, int>, EventId> MemEventOf;
+  for (const Event &E : Skel.events())
+    if (E.Thread != InitThread)
+      MemEventOf[{E.Thread, E.InstrIndex}] = E.Id;
+
+  for (ThreadId T = 0; T < static_cast<ThreadId>(Test.numThreads()); ++T) {
+    MicroGraph Graph = MicroGraph::build(Test, T);
+    Relation Dd = Graph.ddReg();
+    const auto &Micro = Graph.events();
+
+    auto SkeletonMem = [&](const MicroEvent &E) -> int {
+      auto It = MemEventOf.find({T, E.InstrIndex});
+      return It == MemEventOf.end() ? -1 : static_cast<int>(It->second);
+    };
+
+    // addr/data: dd-reg from a memory read into the address/value entry
+    // port of a po-later memory access.
+    for (const MicroEvent &Src : Micro) {
+      if (Src.Kind != MicroKind::MemRead)
+        continue;
+      int SrcMem = SkeletonMem(Src);
+      if (SrcMem < 0)
+        continue;
+      for (const MicroEvent &PortRead : Micro) {
+        if (PortRead.Kind != MicroKind::RegRead ||
+            !Dd.test(Src.Id, PortRead.Id))
+          continue;
+        if (PortRead.Port != MicroPort::Address &&
+            PortRead.Port != MicroPort::Value)
+          continue;
+        // The access fed by this port is the memory event of the same
+        // instruction.
+        for (const MicroEvent &Target : Micro) {
+          if (Target.InstrIndex != PortRead.InstrIndex ||
+              !Target.isMemory())
+            continue;
+          int DstMem = SkeletonMem(Target);
+          if (DstMem < 0 || DstMem == SrcMem)
+            continue;
+          if (PortRead.Port == MicroPort::Address)
+            Deps.Addr.set(static_cast<EventId>(SrcMem),
+                          static_cast<EventId>(DstMem));
+          else if (Target.Kind == MicroKind::MemWrite)
+            Deps.Data.set(static_cast<EventId>(SrcMem),
+                          static_cast<EventId>(DstMem));
+        }
+      }
+
+      // ctrl = (dd-reg & RB); po and ctrl+cfence = (dd-reg & RB); cfence.
+      for (const MicroEvent &Branch : Micro) {
+        if (Branch.Kind != MicroKind::Branch ||
+            !Dd.test(Src.Id, Branch.Id))
+          continue;
+        for (const MicroEvent &Target : Micro) {
+          if (!Target.isMemory() ||
+              !Graph.poMicro().test(Branch.Id, Target.Id))
+            continue;
+          int DstMem = SkeletonMem(Target);
+          if (DstMem < 0 || DstMem == SrcMem)
+            continue;
+          Deps.Ctrl.set(static_cast<EventId>(SrcMem),
+                        static_cast<EventId>(DstMem));
+          // ctrl+cfence: a control fence between the branch and the
+          // access.
+          for (const MicroEvent &CFence : Micro) {
+            if (CFence.Kind != MicroKind::Fence)
+              continue;
+            if (CFence.FenceName != "isync" && CFence.FenceName != "isb")
+              continue;
+            if (Graph.poMicro().test(Branch.Id, CFence.Id) &&
+                Graph.poMicro().test(CFence.Id, Target.Id))
+              Deps.CtrlCfence.set(static_cast<EventId>(SrcMem),
+                                  static_cast<EventId>(DstMem));
+          }
+        }
+      }
+    }
+  }
+  return Deps;
+}

@@ -1,0 +1,49 @@
+//===- Parser.h - Text format for litmus tests ----------------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the litmus text format. Example:
+///
+/// \code
+///   Power mp+lwsync+addr
+///   { x=0; y=0 }
+///   P0:
+///     st x, #1
+///     lwsync
+///     st y, #1
+///   P1:
+///     ld r1, y
+///     xor r2, r1, r1
+///     ld r3, x[r2]
+///   exists (1:r1=1 /\ 1:r3=0)
+/// \endcode
+///
+/// `//` starts a comment. Instructions: `ld rD, loc[rI]?`,
+/// `st loc[rI]?, (#imm|rS)`, `mov rD, (#imm|rS)`, `xor|add rD, rA, rB`,
+/// `beq rS`, or a bare fence name (`sync`, `lwsync`, `eieio`, `isync`,
+/// `dmb`, `dsb`, `dmb.st`, `dsb.st`, `isb`, `mfence`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_LITMUS_PARSER_H
+#define CATS_LITMUS_PARSER_H
+
+#include "litmus/LitmusTest.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace cats {
+
+/// Parses a litmus test from \p Text. Errors carry a line number.
+Expected<LitmusTest> parseLitmus(const std::string &Text);
+
+/// Reads and parses a litmus file from \p Path.
+Expected<LitmusTest> parseLitmusFile(const std::string &Path);
+
+} // namespace cats
+
+#endif // CATS_LITMUS_PARSER_H

@@ -1,0 +1,302 @@
+//===- IntermediateMachine.cpp - The operational machine of Sec. 7 --------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/IntermediateMachine.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace cats;
+
+namespace {
+
+/// One exploration of the machine for a fixed candidate execution.
+class Explorer {
+public:
+  Explorer(const Execution &Exe, const Model &M, uint64_t StateLimit,
+           bool ExploreAll)
+      : Exe(Exe), StateLimit(StateLimit), ExploreAll(ExploreAll) {
+    // Static relations; the machine consults them in every premise.
+    PoLoc = Exe.poLoc();
+    Co = Exe.Co;
+    Prop = M.prop(Exe);
+    PpoFences = M.ppo(Exe) | M.fences(Exe);
+    FencesRel = M.fences(Exe);
+    Relation HbStar = M.happensBefore(Exe).reflexiveTransitiveClosure();
+    PropHbStar = Prop.compose(HbStar);
+
+    // Label layout: program writes get commit + coherence-point labels,
+    // reads get satisfy + commit labels.
+    for (const Event &E : Exe.events()) {
+      if (E.isWrite() && !E.IsInit)
+        Writes.push_back(E.Id);
+      else if (E.isRead())
+        Reads.push_back(E.Id);
+    }
+    NumLabels = 2 * Writes.size() + 2 * Reads.size();
+    assert(NumLabels <= 64 && "machine exploration limited to 64 labels");
+
+    // rf is a function of the read.
+    RfOf.assign(Exe.numEvents(), -1);
+    for (auto [W, R] : Exe.Rf.pairs())
+      RfOf[R] = static_cast<int>(W);
+  }
+
+  MachineResult run() {
+    MachineResult Result;
+    search(0, Result);
+    return Result;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Label/state bookkeeping
+  //===--------------------------------------------------------------------===//
+
+  size_t cwLabel(size_t WriteIdx) const { return WriteIdx; }
+  size_t cpwLabel(size_t WriteIdx) const {
+    return Writes.size() + WriteIdx;
+  }
+  size_t srLabel(size_t ReadIdx) const {
+    return 2 * Writes.size() + ReadIdx;
+  }
+  size_t crLabel(size_t ReadIdx) const {
+    return 2 * Writes.size() + Reads.size() + ReadIdx;
+  }
+
+  static bool fired(uint64_t State, size_t Label) {
+    return (State >> Label) & 1;
+  }
+
+  /// Committed-writes test: initial writes are always committed.
+  bool inCw(uint64_t State, EventId W) const {
+    if (Exe.event(W).IsInit)
+      return true;
+    for (size_t I = 0; I < Writes.size(); ++I)
+      if (Writes[I] == W)
+        return fired(State, cwLabel(I));
+    return false;
+  }
+
+  bool inCpw(uint64_t State, EventId W) const {
+    if (Exe.event(W).IsInit)
+      return true;
+    for (size_t I = 0; I < Writes.size(); ++I)
+      if (Writes[I] == W)
+        return fired(State, cpwLabel(I));
+    return false;
+  }
+
+  bool inSr(uint64_t State, EventId R) const {
+    for (size_t I = 0; I < Reads.size(); ++I)
+      if (Reads[I] == R)
+        return fired(State, srLabel(I));
+    return false;
+  }
+
+  bool inCr(uint64_t State, EventId R) const {
+    for (size_t I = 0; I < Reads.size(); ++I)
+      if (Reads[I] == R)
+        return fired(State, crLabel(I));
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Premises (Fig. 30)
+  //===--------------------------------------------------------------------===//
+
+  bool canCommitWrite(uint64_t State, EventId W) const {
+    // (CW: SC PER LOCATION/coWW) and (CW: PROPAGATION): no po-loc- or
+    // prop-later write already committed.
+    for (EventId Other : Exe.writes().toVector()) {
+      if (Other == W || !inCw(State, Other))
+        continue;
+      if (PoLoc.test(W, Other) || Prop.test(W, Other))
+        return false;
+    }
+    // (CW: fences & WR): no fences-later read already satisfied.
+    for (EventId R : Reads)
+      if (inSr(State, R) && FencesRel.test(W, R))
+        return false;
+    return true;
+  }
+
+  bool canReachCoherencePoint(uint64_t State, EventId W) const {
+    // (CPW: WRITE IS COMMITTED).
+    if (!inCw(State, W))
+      return false;
+    for (EventId Other : Exe.writes().toVector()) {
+      if (Other == W || !inCpw(State, Other))
+        continue;
+      // (CPW: po-loc AND cpw IN ACCORD) and (CPW: PROPAGATION); the path
+      // must also agree with the candidate's coherence order, since
+      // co(E, p) is read off the cp labels.
+      if (PoLoc.test(W, Other) || Prop.test(W, Other) ||
+          Co.test(W, Other))
+        return false;
+    }
+    // PROPAGATION linearisation: prop orders propagation points, which for
+    // a write is its coherence point and for a read its satisfaction.
+    // Every prop-predecessor of W must already have propagated: writes at
+    // coherence point, reads satisfied. This is how cycles of co | prop
+    // that thread through read events (strong A-cumulativity: sb+ffences,
+    // rwc+ffences, ...) are rejected operationally.
+    for (EventId Other : Exe.writes().toVector())
+      if (Other != W && Prop.test(Other, W) && !inCpw(State, Other))
+        return false;
+    for (EventId R : Reads)
+      if (Prop.test(R, W) && !inSr(State, R))
+        return false;
+    return true;
+  }
+
+  bool canSatisfyRead(uint64_t State, EventId R) const {
+    EventId W = static_cast<EventId>(RfOf[R]);
+    // (SR: WRITE IS EITHER LOCAL OR COMMITTED).
+    bool Local = PoLoc.test(W, R);
+    if (!Local && !inCw(State, W))
+      return false;
+    // (SR: PPO/ii0 & RR): no ppo/fences-later read already satisfied.
+    for (EventId Other : Reads)
+      if (Other != R && inSr(State, Other) && PpoFences.test(R, Other))
+        return false;
+    // PROPAGATION linearisation at the read's satisfaction point (see
+    // canReachCoherencePoint): all prop-predecessors must have propagated.
+    for (EventId Other : Exe.writes().toVector())
+      if (Prop.test(Other, R) && !inCpw(State, Other))
+        return false;
+    for (EventId Other : Reads)
+      if (Other != R && Prop.test(Other, R) && !inSr(State, Other))
+        return false;
+    // (SR: OBSERVATION): no write co-after W that is prop;hb*-before R.
+    for (EventId Other : Exe.writes().toVector())
+      if (Co.test(W, Other) && PropHbStar.test(Other, R))
+        return false;
+    return true;
+  }
+
+  bool visible(uint64_t State, EventId W, EventId R) const {
+    // Last same-location write po-loc-before R (wb) and first po-loc-after
+    // (wa); the thread's po order is the event-id order within the thread.
+    int Wb = -1, Wa = -1;
+    for (EventId Other : Exe.writesTo(Exe.event(R).Loc)) {
+      if (PoLoc.test(Other, R) && (Wb < 0 || PoLoc.test(
+                                                  static_cast<EventId>(Wb),
+                                                  Other)))
+        Wb = static_cast<int>(Other);
+      if (PoLoc.test(R, Other) && (Wa < 0 || PoLoc.test(
+                                                  Other,
+                                                  static_cast<EventId>(Wa))))
+        Wa = static_cast<int>(Other);
+    }
+    // W equal to or co-after wb.
+    if (Wb >= 0 && W != static_cast<EventId>(Wb) &&
+        !Co.test(static_cast<EventId>(Wb), W))
+      return false;
+    // W po-loc-before R, or co-before wa.
+    if (Wa >= 0 && !PoLoc.test(W, R) && !Co.test(W, static_cast<EventId>(Wa)))
+      return false;
+    // coRR refinement (end of Sec. 7.1): cr records (write, read) pairs and
+    // visibility consults them. We apply it in both po-loc directions —
+    // a committed po-loc-earlier read must not have seen a co-later write,
+    // and a committed po-loc-later read must not have seen a co-earlier
+    // write — since reads may commit out of po-loc order.
+    for (EventId Other : Reads) {
+      if (!inCr(State, Other))
+        continue;
+      EventId OtherW = static_cast<EventId>(RfOf[Other]);
+      if (PoLoc.test(Other, R) && Co.test(W, OtherW))
+        return false;
+      if (PoLoc.test(R, Other) && Co.test(OtherW, W))
+        return false;
+    }
+    return true;
+  }
+
+  bool canCommitRead(uint64_t State, EventId R) const {
+    // (CR: READ IS SATISFIED).
+    if (!inSr(State, R))
+      return false;
+    // (CR: SC PER LOCATION / coWR, coRW{1,2}, coRR).
+    if (!visible(State, static_cast<EventId>(RfOf[R]), R))
+      return false;
+    // (CR: PPO/cc0 & RW): no ppo/fences-later committed write.
+    for (EventId W : Writes)
+      if (inCw(State, W) && PpoFences.test(R, W))
+        return false;
+    // (CR: PPO/(ci0|cc0) & RR): no ppo/fences-later satisfied read.
+    for (EventId Other : Reads)
+      if (Other != R && inSr(State, Other) && PpoFences.test(R, Other))
+        return false;
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Search
+  //===--------------------------------------------------------------------===//
+
+  bool search(uint64_t State, MachineResult &Result) {
+    if (State == (NumLabels == 64 ? ~uint64_t{0}
+                                  : ((uint64_t{1} << NumLabels) - 1))) {
+      Result.Accepted = true;
+      return true;
+    }
+    if (Failed.count(State))
+      return false;
+    ++Result.StatesVisited;
+    if (StateLimit && Result.StatesVisited > StateLimit) {
+      Result.HitLimit = true;
+      return false;
+    }
+    bool Found = false;
+    for (size_t Label = 0; Label < NumLabels; ++Label) {
+      if (fired(State, Label))
+        continue;
+      bool Enabled;
+      if (Label < Writes.size())
+        Enabled = canCommitWrite(State, Writes[Label]);
+      else if (Label < 2 * Writes.size())
+        Enabled =
+            canReachCoherencePoint(State, Writes[Label - Writes.size()]);
+      else if (Label < 2 * Writes.size() + Reads.size())
+        Enabled = canSatisfyRead(State, Reads[Label - 2 * Writes.size()]);
+      else
+        Enabled = canCommitRead(
+            State, Reads[Label - 2 * Writes.size() - Reads.size()]);
+      if (!Enabled)
+        continue;
+      if (search(State | (uint64_t{1} << Label), Result)) {
+        if (!ExploreAll)
+          return true;
+        Found = true;
+      }
+      if (Result.HitLimit)
+        return Found;
+    }
+    // In explore-all mode every state is memoised once; in witness mode
+    // only dead states are, so re-entry can still succeed elsewhere.
+    if (ExploreAll || !Found)
+      Failed.insert(State);
+    return Found;
+  }
+
+  const Execution &Exe;
+  uint64_t StateLimit;
+  bool ExploreAll;
+  Relation PoLoc, Co, Prop, PpoFences, FencesRel, PropHbStar;
+  std::vector<EventId> Writes, Reads;
+  std::vector<int> RfOf;
+  size_t NumLabels = 0;
+  std::unordered_set<uint64_t> Failed;
+};
+
+} // namespace
+
+MachineResult cats::machineAccepts(const Execution &Exe, const Model &M,
+                                   uint64_t StateLimit, bool ExploreAll) {
+  Explorer E(Exe, M, StateLimit, ExploreAll);
+  return E.run();
+}

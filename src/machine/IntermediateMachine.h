@@ -1,0 +1,67 @@
+//===- IntermediateMachine.h - The operational machine of Sec. 7 -*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's intermediate machine (Fig. 30): an operational reformulation
+/// of the axiomatic model as a transition system over labels
+///
+///   c(w)    commit write
+///   cp(w)   write reaches coherence point
+///   s(w,r)  satisfy read (from the angelically-guessed write w)
+///   c(w,r)  commit read
+///
+/// with state (cw, cpw, sr, cr). Theorem 7.1 proves the machine equivalent
+/// to the axiomatic model; the test suite checks this empirically on every
+/// candidate execution of the figure catalogue.
+///
+/// Given a full candidate execution (rf and co fixed), acceptance asks
+/// whether some total order of the labels fires every transition. Because
+/// every premise of Fig. 30 depends only on the *sets* of already-fired
+/// labels, the machine state is exactly that set, and acceptance is a
+/// reachability search over subsets with memoisation of failed states.
+///
+/// The coRR-forbidding refinement from the end of Sec. 7.1 (cr records the
+/// satisfying write and visibility checks consult it) is implemented.
+///
+/// This machine is also the operational cost baseline of Table IX: its
+/// exploration is exponentially more expensive than the axiomatic checks,
+/// which is the paper's argument for axiomatic simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_MACHINE_INTERMEDIATEMACHINE_H
+#define CATS_MACHINE_INTERMEDIATEMACHINE_H
+
+#include "event/Execution.h"
+#include "model/Model.h"
+
+#include <cstdint>
+
+namespace cats {
+
+/// Result of exploring the machine on one candidate.
+struct MachineResult {
+  /// True when some label path fires all transitions.
+  bool Accepted = false;
+  /// Number of distinct states visited (search effort; Table IX).
+  uint64_t StatesVisited = 0;
+  /// True when the search was abandoned at the state limit.
+  bool HitLimit = false;
+};
+
+/// Explores the intermediate machine on candidate \p Exe under \p M (which
+/// supplies ppo, fences and prop exactly as the axiomatic side does).
+/// \p StateLimit bounds the number of visited states; 0 means unlimited.
+/// With \p ExploreAll the search does not stop at the first accepting
+/// path but visits the whole reachable state space, like an operational
+/// simulator enumerating every behaviour (ppcmem's cost shape).
+MachineResult machineAccepts(const Execution &Exe, const Model &M,
+                             uint64_t StateLimit = 0,
+                             bool ExploreAll = false);
+
+} // namespace cats
+
+#endif // CATS_MACHINE_INTERMEDIATEMACHINE_H

@@ -1,0 +1,126 @@
+//===- HwModel.cpp - Power and ARM instances (Figs. 17/18/25) -------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/HwModel.h"
+
+using namespace cats;
+
+HwConfig HwConfig::power() {
+  HwConfig C;
+  C.Name = "Power";
+  C.FullFences = {fence::Sync};
+  C.LightFencesNoWR = {fence::LwSync};
+  C.LightFencesWW = {fence::Eieio};
+  C.Cc0IncludesPoLoc = true;
+  return C;
+}
+
+HwConfig HwConfig::arm() {
+  HwConfig C;
+  C.Name = "ARM";
+  C.FullFences = {fence::Dmb, fence::Dsb};
+  C.FullFencesWW = {fence::DmbSt, fence::DsbSt};
+  C.Cc0IncludesPoLoc = false;
+  return C;
+}
+
+HwConfig HwConfig::powerArm() {
+  HwConfig C = arm();
+  C.Name = "Power-ARM";
+  C.Cc0IncludesPoLoc = true;
+  return C;
+}
+
+HwConfig HwConfig::armLlh() {
+  HwConfig C = arm();
+  C.Name = "ARM llh";
+  C.AllowLoadLoadHazard = true;
+  return C;
+}
+
+Relation HwModel::fullFence(const Execution &Exe) const {
+  Relation Out(Exe.numEvents());
+  for (const std::string &Name : Config.FullFences)
+    Out |= Exe.fenceRelation(Name);
+  EventSet W = Exe.writes();
+  for (const std::string &Name : Config.FullFencesWW)
+    Out |= Exe.fenceRelation(Name).restrict(W, W);
+  return Out;
+}
+
+Relation HwModel::lightFence(const Execution &Exe) const {
+  Relation Out(Exe.numEvents());
+  EventSet W = Exe.writes();
+  EventSet R = Exe.reads();
+  for (const std::string &Name : Config.LightFencesNoWR) {
+    // lwfence = lwsync \ WR (Fig. 17): an lwsync between a write and a read
+    // does not order the pair.
+    Relation F = Exe.fenceRelation(Name);
+    Out |= F - F.restrict(W, R);
+  }
+  for (const std::string &Name : Config.LightFencesWW)
+    Out |= Exe.fenceRelation(Name).restrict(W, W);
+  return Out;
+}
+
+Relation HwModel::fences(const Execution &Exe) const {
+  return lightFence(Exe) | fullFence(Exe);
+}
+
+Relation HwModel::ppo(const Execution &Exe) const {
+  unsigned N = Exe.numEvents();
+
+  // Base ingredients of Fig. 25.
+  Relation Dp = Exe.Addr | Exe.Data;
+  Relation Ii0 = Dp | Exe.rfi();
+  Relation Ci0 = Exe.CtrlCfence;
+  if (Config.PpoUsesRdwDetour) {
+    Ii0 |= Exe.rdw();
+    Ci0 |= Exe.detour();
+  }
+  Relation Ic0(N);
+  Relation Cc0 = Dp | Exe.Ctrl | Exe.Addr.compose(Exe.Po);
+  if (Config.Cc0IncludesPoLoc)
+    Cc0 |= Exe.poLoc();
+
+  // Least fixpoint of the mutually recursive ii/ic/ci/cc equations.
+  Relation Ii = Ii0, Ic = Ic0, Ci = Ci0, Cc = Cc0;
+  while (true) {
+    Relation NewIi = Ii0 | Ci | Ic.compose(Ci) | Ii.compose(Ii);
+    Relation NewIc =
+        Ic0 | Ii | Cc | Ic.compose(Cc) | Ii.compose(Ic);
+    Relation NewCi = Ci0 | Ci.compose(Ii) | Cc.compose(Ci);
+    Relation NewCc = Cc0 | Ci | Ci.compose(Ic) | Cc.compose(Cc);
+    if (NewIi == Ii && NewIc == Ic && NewCi == Ci && NewCc == Cc)
+      break;
+    Ii = std::move(NewIi);
+    Ic = std::move(NewIc);
+    Ci = std::move(NewCi);
+    Cc = std::move(NewCc);
+  }
+
+  EventSet R = Exe.reads();
+  EventSet W = Exe.writes();
+  return Ii.restrict(R, R) | Ic.restrict(R, W);
+}
+
+Relation HwModel::prop(const Execution &Exe) const {
+  Relation Hb = happensBefore(Exe);
+  Relation HbStar = Hb.reflexiveTransitiveClosure();
+  Relation FencesRel = fences(Exe);
+  Relation FFence = fullFence(Exe);
+
+  // A-cumulativity: rfe; fences (Fig. 18).
+  Relation ACumul = Exe.rfe().compose(FencesRel);
+  Relation PropBase = (FencesRel | ACumul).compose(HbStar);
+
+  EventSet W = Exe.writes();
+  Relation ComStar = Exe.com().reflexiveTransitiveClosure();
+  Relation PropBaseStar = PropBase.reflexiveTransitiveClosure();
+
+  return PropBase.restrict(W, W) |
+         ComStar.compose(PropBaseStar).compose(FFence).compose(HbStar);
+}

@@ -1,0 +1,84 @@
+//===- Model.cpp - The generic axiomatic framework (Fig. 5) ---------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/Model.h"
+
+using namespace cats;
+
+Model::~Model() = default;
+
+const char *cats::axiomLetter(Axiom A) {
+  switch (A) {
+  case Axiom::ScPerLocation:
+    return "S";
+  case Axiom::NoThinAir:
+    return "T";
+  case Axiom::Observation:
+    return "O";
+  case Axiom::Propagation:
+    return "P";
+  }
+  return "?";
+}
+
+std::string Verdict::letters() const {
+  std::string Out;
+  for (Axiom A : Violated)
+    Out += axiomLetter(A);
+  return Out;
+}
+
+bool Verdict::violates(Axiom A) const {
+  for (Axiom V : Violated)
+    if (V == A)
+      return true;
+  return false;
+}
+
+Relation Model::happensBefore(const Execution &Exe) const {
+  return ppo(Exe) | fences(Exe) | Exe.rfe();
+}
+
+Verdict Model::check(const Execution &Exe) const {
+  Verdict Out;
+  AxiomStyle Style = style();
+
+  auto Fail = [&Out](Axiom A) {
+    Out.Allowed = false;
+    Out.Violated.push_back(A);
+  };
+
+  // SC PER LOCATION: acyclic(po-loc | com), with the llh weakening removing
+  // read-read pairs from po-loc (Table VII).
+  Relation PoLoc = Exe.poLoc();
+  if (Style.AllowLoadLoadHazard)
+    PoLoc = PoLoc - PoLoc.restrict(Exe.reads(), Exe.reads());
+  if (!(PoLoc | Exe.com()).isAcyclic())
+    Fail(Axiom::ScPerLocation);
+
+  Relation Hb = happensBefore(Exe);
+
+  // NO THIN AIR: acyclic(hb).
+  if (!Style.DisableNoThinAir && !Hb.isAcyclic())
+    Fail(Axiom::NoThinAir);
+
+  // OBSERVATION: irreflexive(fre; prop; hb*).
+  Relation Prop = prop(Exe);
+  Relation HbStar = Hb.reflexiveTransitiveClosure();
+  if (!Exe.fre().compose(Prop).compose(HbStar).isIrreflexive())
+    Fail(Axiom::Observation);
+
+  // PROPAGATION: acyclic(co | prop), or the C++ R-A weakening
+  // irreflexive(prop; co).
+  if (Style.PropagationIrreflexiveOnly) {
+    if (!Prop.compose(Exe.Co).isIrreflexive())
+      Fail(Axiom::Propagation);
+  } else if (!(Exe.Co | Prop).isAcyclic()) {
+    Fail(Axiom::Propagation);
+  }
+
+  return Out;
+}

@@ -1,0 +1,106 @@
+//===- Model.h - The generic axiomatic framework (Fig. 5) -----*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's generic model of weak memory. A Model supplies the three
+/// architecture functions (ppo, fences, prop) of Sec. 4.1; the base class
+/// then evaluates the four axioms of Fig. 5 on a candidate execution:
+///
+///   SC PER LOCATION   acyclic(po-loc | com)
+///   NO THIN AIR       acyclic(hb)           hb = ppo | fences | rfe
+///   OBSERVATION       irreflexive(fre; prop; hb*)
+///   PROPAGATION       acyclic(co | prop)
+///
+/// Two documented weakenings are supported (Sec. 4.8/4.9 and 8.1.2): C++ R-A
+/// replaces PROPAGATION by irreflexive(prop; co), and the "llh" variants drop
+/// read-read pairs from po-loc in SC PER LOCATION to tolerate load-load
+/// hazards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_MODEL_MODEL_H
+#define CATS_MODEL_MODEL_H
+
+#include "event/Execution.h"
+#include "relation/Relation.h"
+
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// The four axioms, used both for checking and for classifying violations
+/// (Table VIII's S/T/O/P sets).
+enum class Axiom : uint8_t {
+  ScPerLocation,
+  NoThinAir,
+  Observation,
+  Propagation
+};
+
+/// Short display name: "S", "T", "O", "P".
+const char *axiomLetter(Axiom A);
+
+/// Outcome of checking one candidate execution against a model.
+struct Verdict {
+  /// True when no axiom is violated.
+  bool Allowed = true;
+  /// The violated axioms, in declaration order.
+  std::vector<Axiom> Violated;
+
+  /// Letter string like "OP" for the Table VIII classification; empty when
+  /// allowed.
+  std::string letters() const;
+
+  bool violates(Axiom A) const;
+};
+
+/// How the axiom checks may be weakened per instance.
+struct AxiomStyle {
+  /// Drop read-read pairs from po-loc in SC PER LOCATION (ARM llh).
+  bool AllowLoadLoadHazard = false;
+  /// Check irreflexive(prop; co) instead of acyclic(co | prop) (C++ R-A).
+  bool PropagationIrreflexiveOnly = false;
+  /// Disable NO THIN AIR entirely (for exploring Java/C++-like settings,
+  /// Sec. 4.9).
+  bool DisableNoThinAir = false;
+};
+
+/// A memory model: the architecture triple (ppo, fences, prop) plus axiom
+/// style. Instances are stateless and thread-compatible.
+class Model {
+public:
+  virtual ~Model();
+
+  /// Display name, e.g. "Power" or "ARM llh".
+  virtual std::string name() const = 0;
+
+  /// Preserved program order for \p Exe.
+  virtual Relation ppo(const Execution &Exe) const = 0;
+
+  /// The ordering fences relation (the architecture's "fences" function;
+  /// e.g. lwsync\WR | sync on Power).
+  virtual Relation fences(const Execution &Exe) const = 0;
+
+  /// The propagation order contribution.
+  virtual Relation prop(const Execution &Exe) const = 0;
+
+  /// Axiom weakenings for this instance.
+  virtual AxiomStyle style() const { return {}; }
+
+  /// happens-before: ppo | fences | rfe.
+  Relation happensBefore(const Execution &Exe) const;
+
+  /// Evaluates the four axioms on \p Exe.
+  Verdict check(const Execution &Exe) const;
+
+  /// True when \p Exe passes every axiom.
+  bool allows(const Execution &Exe) const { return check(Exe).Allowed; }
+};
+
+} // namespace cats
+
+#endif // CATS_MODEL_MODEL_H

@@ -1,0 +1,84 @@
+//===- Registry.cpp - Named access to the built-in models -----------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/Registry.h"
+
+#include "model/HwModel.h"
+#include "model/SimpleModels.h"
+
+using namespace cats;
+
+namespace {
+
+const ScModel &scModel() {
+  static ScModel M;
+  return M;
+}
+const TsoModel &tsoModel() {
+  static TsoModel M;
+  return M;
+}
+const CppRaModel &cppRaModel() {
+  static CppRaModel M;
+  return M;
+}
+const PsoModel &psoModel() {
+  static PsoModel M;
+  return M;
+}
+const RmoModel &rmoModel() {
+  static RmoModel M;
+  return M;
+}
+const HwModel &powerModel() {
+  static HwModel M(HwConfig::power());
+  return M;
+}
+const HwModel &armModel() {
+  static HwModel M(HwConfig::arm());
+  return M;
+}
+const HwModel &powerArmModel() {
+  static HwModel M(HwConfig::powerArm());
+  return M;
+}
+const HwModel &armLlhModel() {
+  static HwModel M(HwConfig::armLlh());
+  return M;
+}
+
+} // namespace
+
+const std::vector<const Model *> &cats::allModels() {
+  static std::vector<const Model *> Models = {
+      &scModel(),     &tsoModel(),      &psoModel(),
+      &rmoModel(),    &cppRaModel(),    &powerModel(),
+      &armModel(),    &powerArmModel(), &armLlhModel()};
+  return Models;
+}
+
+const Model *cats::modelByName(const std::string &Name) {
+  for (const Model *M : allModels())
+    if (M->name() == Name)
+      return M;
+  return nullptr;
+}
+
+const Model &cats::modelFor(Arch A) {
+  switch (A) {
+  case Arch::SC:
+    return scModel();
+  case Arch::TSO:
+    return tsoModel();
+  case Arch::Power:
+    return powerModel();
+  case Arch::ARM:
+    return armModel();
+  case Arch::CppRA:
+    return cppRaModel();
+  }
+  return scModel();
+}

@@ -1,0 +1,34 @@
+//===- Registry.h - Named access to the built-in models -------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Singleton instances of the built-in models and lookup by name or by
+/// litmus architecture.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_MODEL_REGISTRY_H
+#define CATS_MODEL_REGISTRY_H
+
+#include "litmus/LitmusTest.h"
+#include "model/Model.h"
+
+#include <vector>
+
+namespace cats {
+
+/// All built-in models: SC, TSO, C++RA, Power, ARM, Power-ARM, ARM llh.
+const std::vector<const Model *> &allModels();
+
+/// Lookup by display name; nullptr when unknown.
+const Model *modelByName(const std::string &Name);
+
+/// The default model for a litmus architecture (Power for Arch::Power...).
+const Model &modelFor(Arch A);
+
+} // namespace cats
+
+#endif // CATS_MODEL_REGISTRY_H

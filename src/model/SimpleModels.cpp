@@ -1,0 +1,114 @@
+//===- SimpleModels.cpp - SC, TSO and C++ R-A instances -------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/SimpleModels.h"
+
+using namespace cats;
+
+//===----------------------------------------------------------------------===//
+// SC
+//===----------------------------------------------------------------------===//
+
+Relation ScModel::ppo(const Execution &Exe) const { return Exe.Po; }
+
+Relation ScModel::fences(const Execution &Exe) const {
+  return Relation(Exe.numEvents());
+}
+
+Relation ScModel::prop(const Execution &Exe) const {
+  return ppo(Exe) | fences(Exe) | Exe.Rf | Exe.fr();
+}
+
+//===----------------------------------------------------------------------===//
+// TSO
+//===----------------------------------------------------------------------===//
+
+Relation TsoModel::ppo(const Execution &Exe) const {
+  // po \ WR: only write-read pairs may be reordered (store buffering).
+  return Exe.Po - Exe.Po.restrict(Exe.writes(), Exe.reads());
+}
+
+Relation TsoModel::fences(const Execution &Exe) const {
+  return Exe.fenceRelation(fence::MFence);
+}
+
+Relation TsoModel::prop(const Execution &Exe) const {
+  return ppo(Exe) | fences(Exe) | Exe.rfe() | Exe.fr();
+}
+
+//===----------------------------------------------------------------------===//
+// C++ R-A
+//===----------------------------------------------------------------------===//
+
+Relation CppRaModel::ppo(const Execution &Exe) const {
+  // sequenced-before is the program order of the compiled test.
+  return Exe.Po;
+}
+
+Relation CppRaModel::fences(const Execution &Exe) const {
+  return Relation(Exe.numEvents());
+}
+
+Relation CppRaModel::prop(const Execution &Exe) const {
+  // prop = hb+ with hb = sb | rf (all atomics are release/acquire, so every
+  // rf synchronises; internal rf is included in sb's transitive closure
+  // effects and harmless here).
+  return (Exe.Po | Exe.Rf).transitiveClosure();
+}
+
+//===----------------------------------------------------------------------===//
+// PSO
+//===----------------------------------------------------------------------===//
+
+Relation PsoModel::ppo(const Execution &Exe) const {
+  // po \ (WR | WW): stores may be delayed past later stores too.
+  EventSet W = Exe.writes();
+  return Exe.Po - Exe.Po.restrictDomain(W);
+}
+
+Relation PsoModel::fences(const Execution &Exe) const {
+  return Exe.fenceRelation(fence::MFence);
+}
+
+Relation PsoModel::prop(const Execution &Exe) const {
+  return ppo(Exe) | fences(Exe) | Exe.rfe() | Exe.fr();
+}
+
+//===----------------------------------------------------------------------===//
+// RMO
+//===----------------------------------------------------------------------===//
+
+Relation RmoModel::ppo(const Execution &Exe) const {
+  // Only dependencies are preserved: addr, data, and ctrl to writes.
+  return Exe.Addr | Exe.Data |
+         Exe.Ctrl.restrictRange(Exe.writes()) | Exe.CtrlCfence;
+}
+
+Relation RmoModel::fences(const Execution &Exe) const {
+  return Exe.fenceRelation(fence::MFence);
+}
+
+Relation RmoModel::prop(const Execution &Exe) const {
+  return ppo(Exe) | fences(Exe) | Exe.rfe() | Exe.fr();
+}
+
+//===----------------------------------------------------------------------===//
+// Reference formulations (Lemma 4.1)
+//===----------------------------------------------------------------------===//
+
+bool cats::isScReference(const Execution &Exe) {
+  return (Exe.Po | Exe.com()).isAcyclic();
+}
+
+bool cats::isTsoReference(const Execution &Exe) {
+  // Def. 23 assumes the uniproc condition holds alongside the global
+  // acyclicity check.
+  if (!(Exe.poLoc() | Exe.com()).isAcyclic())
+    return false;
+  Relation Ppo = Exe.Po - Exe.Po.restrict(Exe.writes(), Exe.reads());
+  Relation Fences = Exe.fenceRelation(fence::MFence);
+  return (Ppo | Exe.Co | Exe.rfe() | Exe.fr() | Fences).isAcyclic();
+}

@@ -1,0 +1,494 @@
+//===- Mole.cpp - Static critical-cycle mining (Sec. 9) -------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mole/Mole.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+using namespace cats;
+
+std::map<std::string, unsigned> MoleReport::patternCounts() const {
+  std::map<std::string, unsigned> Out;
+  for (const MoleCycle &C : Cycles)
+    ++Out[C.Pattern];
+  return Out;
+}
+
+std::map<std::string, unsigned> MoleReport::axiomCounts() const {
+  std::map<std::string, unsigned> Out;
+  for (const MoleCycle &C : Cycles)
+    ++Out[C.AxiomClass];
+  return Out;
+}
+
+namespace {
+
+/// One concurrent thread: a function instance with its memory accesses.
+struct MoleThread {
+  std::string FunctionName;
+  /// Memory accesses only (fences dropped; they do not take part in the
+  /// static cycle structure, cf. Sec. 9.1: mole records patterns, the
+  /// fences are reported in the litmus-style naming elsewhere).
+  std::vector<MoleAccess> Accesses;
+};
+
+/// A node of the cycle graph.
+struct Node {
+  unsigned Thread;
+  unsigned Index; ///< Into MoleThread::Accesses.
+};
+
+bool isWrite(const MoleAccess &A) {
+  return A.AccessKind == MoleAccess::Kind::Write;
+}
+
+/// Variables read or written by a function.
+std::set<std::string> varsOf(const MoleFunction &F) {
+  std::set<std::string> Out;
+  for (const MoleAccess &A : F.Body)
+    if (A.AccessKind != MoleAccess::Kind::Fence)
+      Out.insert(A.Var);
+  return Out;
+}
+
+/// Union-find grouping of functions by shared variables.
+std::vector<std::vector<unsigned>>
+groupFunctions(const MoleProgram &Program) {
+  size_t N = Program.Functions.size();
+  std::vector<unsigned> Parent(N);
+  for (unsigned I = 0; I < N; ++I)
+    Parent[I] = I;
+  std::function<unsigned(unsigned)> Find = [&](unsigned X) {
+    return Parent[X] == X ? X : Parent[X] = Find(Parent[X]);
+  };
+  std::vector<std::set<std::string>> Vars;
+  for (const MoleFunction &F : Program.Functions)
+    Vars.push_back(varsOf(F));
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned J = I + 1; J < N; ++J) {
+      bool Shares = false;
+      for (const std::string &V : Vars[I])
+        if (Vars[J].count(V))
+          Shares = true;
+      if (Shares)
+        Parent[Find(I)] = Find(J);
+    }
+  std::map<unsigned, std::vector<unsigned>> Buckets;
+  for (unsigned I = 0; I < N; ++I)
+    Buckets[Find(I)].push_back(I);
+  std::vector<std::vector<unsigned>> Out;
+  for (auto &[Root, Members] : Buckets)
+    Out.push_back(std::move(Members));
+  return Out;
+}
+
+/// The classic names of Tab. III by systematic signature.
+std::string classicName(const std::string &Systematic) {
+  static const std::map<std::string, std::string> Table = {
+      {"ww+rr", "mp"},          {"wr+wr", "sb"},
+      {"rw+rw", "lb"},          {"w+rw+rr", "wrc"},
+      {"ww+rw+rr", "isa2"},     {"ww+ww", "2+2w"},
+      {"w+rw+ww", "w+rw+2w"},   {"w+rr+wr", "rwc"},
+      {"ww+wr", "r"},           {"ww+rw", "s"},
+      {"w+rr+w+rr", "iriw"},    {"ww+rr+wr", "w+rwc"},
+      {"w+rw+r", "ww+rw+r"},
+  };
+  auto It = Table.find(Systematic);
+  return It == Table.end() ? Systematic : It->second;
+}
+
+/// Rotation-canonical pattern name from per-thread direction strings:
+/// the classic name if any rotation matches the Tab. III table, else the
+/// lexicographically smallest rotation of the systematic name.
+std::string patternName(std::vector<std::string> ThreadSigs) {
+  std::string Best;
+  std::string Classic;
+  for (size_t I = 0; I < ThreadSigs.size(); ++I) {
+    std::string Candidate = joinStrings(ThreadSigs, "+");
+    std::string Name = classicName(Candidate);
+    if (Name != Candidate)
+      Classic = Name;
+    if (Best.empty() || Candidate < Best)
+      Best = Candidate;
+    std::rotate(ThreadSigs.begin(), ThreadSigs.begin() + 1,
+                ThreadSigs.end());
+  }
+  return Classic.empty() ? Best : Classic;
+}
+
+/// Labels a cmp edge by the communication it denotes statically.
+const char *cmpLabel(bool SrcWrite, bool DstWrite) {
+  if (SrcWrite && DstWrite)
+    return "co";
+  if (SrcWrite)
+    return "rf";
+  return "fr";
+}
+
+/// Applies the reduction rules to consecutive cmp labels around
+/// single-access threads: co;co = co, rf;fr = co, fr;co = fr. Returns
+/// the reduced per-thread signatures and edge labels.
+struct ReducedCycle {
+  std::vector<std::string> ThreadSigs;
+  std::vector<std::string> Edges;
+};
+
+ReducedCycle reduceCycle(const std::vector<std::string> &ThreadSigs,
+                         const std::vector<std::string> &CmpLabels) {
+  // ThreadSigs[i] is the direction string of thread i; CmpLabels[i] links
+  // thread i to thread i+1 (mod n). A single-access thread whose incoming
+  // and outgoing labels compose is dropped.
+  ReducedCycle Out{ThreadSigs, CmpLabels};
+  bool Changed = true;
+  while (Changed && Out.ThreadSigs.size() > 2) {
+    Changed = false;
+    for (size_t I = 0; I < Out.ThreadSigs.size(); ++I) {
+      if (Out.ThreadSigs[I].size() != 1)
+        continue;
+      size_t In = (I + Out.ThreadSigs.size() - 1) % Out.ThreadSigs.size();
+      const std::string &A = Out.Edges[In];
+      const std::string &B = Out.Edges[I];
+      std::string Composed;
+      if (A == "co" && B == "co")
+        Composed = "co";
+      else if (A == "rf" && B == "fr")
+        Composed = "co";
+      else if (A == "fr" && B == "co")
+        Composed = "fr";
+      if (Composed.empty())
+        continue;
+      Out.Edges[In] = Composed;
+      Out.Edges.erase(Out.Edges.begin() + I);
+      Out.ThreadSigs.erase(Out.ThreadSigs.begin() + I);
+      Changed = true;
+      break;
+    }
+  }
+  return Out;
+}
+
+/// Classifies a reduced cycle against the SC instance of the model
+/// (Sec. 9.1.3): S when everything is po-loc/com (single location), T when
+/// the communications are read-from only, O when exactly one from-read
+/// occurs and no coherence, else P.
+std::string classifyCycle(const ReducedCycle &Cycle, bool SingleLocation) {
+  if (SingleLocation)
+    return "S";
+  unsigned Fr = 0, Co = 0;
+  for (const std::string &E : Cycle.Edges) {
+    if (E == "fr")
+      ++Fr;
+    if (E == "co")
+      ++Co;
+  }
+  if (Fr == 0 && Co == 0)
+    return "T";
+  if (Fr == 1 && Co == 0)
+    return "O";
+  return "P";
+}
+
+/// Enumerates the static critical cycles over \p Threads, appending to
+/// \p Cycles with dedup via \p Seen.
+void enumerateCriticalCycles(const std::vector<MoleThread> &Threads,
+                             std::vector<MoleCycle> &Cycles,
+                             std::set<std::string> &Seen) {
+  size_t N = Threads.size();
+  // Per-thread access choices: one access, or an ordered pair of accesses
+  // with distinct variables.
+  struct Choice {
+    std::vector<unsigned> Accs;
+  };
+  std::vector<std::vector<Choice>> Choices(N);
+  for (size_t T = 0; T < N; ++T) {
+    const auto &Accs = Threads[T].Accesses;
+    for (unsigned I = 0; I < Accs.size(); ++I)
+      Choices[T].push_back({{I}});
+    for (unsigned I = 0; I < Accs.size(); ++I)
+      for (unsigned J = I + 1; J < Accs.size(); ++J)
+        if (Accs[I].Var != Accs[J].Var)
+          Choices[T].push_back({{I, J}});
+  }
+
+  // Thread sequences of length 2..4, first thread minimal to canonicalise
+  // rotations.
+  std::vector<unsigned> Sequence;
+  std::function<void(size_t)> Extend = [&](size_t MaxLen) {
+    if (Sequence.size() >= 2) {
+      // Try every per-thread choice combination for this sequence.
+      std::vector<size_t> Pick(Sequence.size(), 0);
+      while (true) {
+        // Check the chain: consecutive threads' boundary accesses must
+        // compete (same variable, at least one write), wrapping around.
+        bool Ok = true;
+        unsigned NumThreads = static_cast<unsigned>(Sequence.size());
+        for (unsigned K = 0; K < NumThreads && Ok; ++K) {
+          unsigned TA = Sequence[K];
+          unsigned TB = Sequence[(K + 1) % NumThreads];
+          const Choice &CA = Choices[TA][Pick[K]];
+          const Choice &CB = Choices[TB][Pick[(K + 1) % NumThreads]];
+          const MoleAccess &A =
+              Threads[TA].Accesses[CA.Accs.back()];
+          const MoleAccess &B =
+              Threads[TB].Accesses[CB.Accs.front()];
+          if (A.Var != B.Var || (!isWrite(A) && !isWrite(B)))
+            Ok = false;
+        }
+        // Location constraint: at most three accesses per variable, from
+        // distinct threads.
+        if (Ok) {
+          std::map<std::string, std::set<unsigned>> PerVar;
+          std::map<std::string, unsigned> VarCount;
+          for (unsigned K = 0; K < NumThreads && Ok; ++K) {
+            unsigned T = Sequence[K];
+            for (unsigned AccIdx : Choices[T][Pick[K]].Accs) {
+              const MoleAccess &A = Threads[T].Accesses[AccIdx];
+              ++VarCount[A.Var];
+              if (!PerVar[A.Var].insert(T).second)
+                Ok = false; // Same thread twice on one location.
+              if (VarCount[A.Var] > 3)
+                Ok = false;
+            }
+          }
+          // A critical cycle spans more than one location.
+          if (Ok && PerVar.size() < 2)
+            Ok = false;
+        }
+        if (Ok) {
+          // Build signatures and labels.
+          std::vector<std::string> Sigs;
+          std::vector<std::string> Labels;
+          unsigned NumThreadsU = NumThreads;
+          for (unsigned K = 0; K < NumThreadsU; ++K) {
+            unsigned T = Sequence[K];
+            std::string Sig;
+            for (unsigned AccIdx : Choices[T][Pick[K]].Accs)
+              Sig += isWrite(Threads[T].Accesses[AccIdx]) ? 'w' : 'r';
+            Sigs.push_back(Sig);
+            unsigned TB = Sequence[(K + 1) % NumThreadsU];
+            const MoleAccess &A =
+                Threads[T].Accesses[Choices[T][Pick[K]].Accs.back()];
+            const MoleAccess &B =
+                Threads[TB]
+                    .Accesses[Choices[TB][Pick[(K + 1) % NumThreadsU]]
+                                  .Accs.front()];
+            Labels.push_back(cmpLabel(isWrite(A), isWrite(B)));
+          }
+          // Dedup on the canonical (threads, accesses) footprint.
+          std::string Key;
+          for (unsigned K = 0; K < NumThreadsU; ++K) {
+            Key += strFormat("T%u:", Sequence[K]);
+            for (unsigned AccIdx : Choices[Sequence[K]][Pick[K]].Accs)
+              Key += strFormat("%u,", AccIdx);
+            Key += ";";
+          }
+          if (Seen.insert(Key).second) {
+            ReducedCycle Reduced = reduceCycle(Sigs, Labels);
+            MoleCycle Cycle;
+            Cycle.Pattern = patternName(Reduced.ThreadSigs);
+            Cycle.AxiomClass = classifyCycle(Reduced, false);
+            std::string EdgeText;
+            for (size_t K = 0; K < Reduced.ThreadSigs.size(); ++K) {
+              if (Reduced.ThreadSigs[K].size() == 2)
+                EdgeText += "po ";
+              EdgeText += Reduced.Edges[K] + " ";
+            }
+            Cycle.Edges = trimString(EdgeText);
+            Cycle.Threads = NumThreads;
+            Cycles.push_back(std::move(Cycle));
+          }
+        }
+        // Odometer over choices.
+        size_t K = 0;
+        for (; K < Sequence.size(); ++K) {
+          if (++Pick[K] < Choices[Sequence[K]].size())
+            break;
+          Pick[K] = 0;
+        }
+        if (K == Sequence.size())
+          break;
+      }
+    }
+    if (Sequence.size() == MaxLen)
+      return;
+    for (unsigned T = 0; T < N; ++T) {
+      bool Used = false;
+      for (unsigned U : Sequence)
+        if (U == T)
+          Used = true;
+      if (Used)
+        continue;
+      // Canonical: rotations start at the smallest thread id.
+      if (!Sequence.empty() && T < Sequence.front())
+        continue;
+      Sequence.push_back(T);
+      Extend(MaxLen);
+      Sequence.pop_back();
+    }
+  };
+  Extend(4);
+}
+
+/// Finds the five SC-per-location shapes (Fig. 6) statically.
+void findScPerLocationCycles(const std::vector<MoleThread> &Threads,
+                             std::vector<MoleCycle> &Cycles,
+                             std::set<std::string> &Seen) {
+  auto Emit = [&](const char *Pattern, const std::string &Key,
+                  const char *Edges, unsigned NumThreads) {
+    if (!Seen.insert(Key).second)
+      return;
+    MoleCycle Cycle;
+    Cycle.Pattern = Pattern;
+    Cycle.AxiomClass = "S";
+    Cycle.Edges = Edges;
+    Cycle.Threads = NumThreads;
+    Cycles.push_back(std::move(Cycle));
+  };
+
+  for (unsigned T = 0; T < Threads.size(); ++T) {
+    const auto &Accs = Threads[T].Accesses;
+    for (unsigned I = 0; I < Accs.size(); ++I) {
+      for (unsigned J = I + 1; J < Accs.size(); ++J) {
+        if (Accs[I].Var != Accs[J].Var)
+          continue;
+        bool WI = isWrite(Accs[I]), WJ = isWrite(Accs[J]);
+        std::string Base =
+            strFormat("scloc:T%u:%u,%u", T, I, J);
+        if (WI && WJ)
+          Emit("coWW", Base + ":ww", "po-loc co", 1);
+        if (!WI && WJ)
+          Emit("coRW1", Base + ":rw1", "po-loc rf", 1);
+        // The remaining shapes need another thread writing the variable.
+        for (unsigned U = 0; U < Threads.size(); ++U) {
+          if (U == T)
+            continue;
+          bool OtherWrites = false;
+          for (const MoleAccess &A : Threads[U].Accesses)
+            if (A.Var == Accs[I].Var && isWrite(A))
+              OtherWrites = true;
+          if (!OtherWrites)
+            continue;
+          std::string Key =
+              Base + strFormat(":U%u", U);
+          if (!WI && WJ)
+            Emit("coRW2", Key + ":rw2", "po-loc co rf", 2);
+          if (WI && !WJ)
+            Emit("coWR", Key + ":wr", "po-loc fr co rf", 2);
+          if (!WI && !WJ)
+            Emit("coRR", Key + ":rr", "po-loc fr rf", 2);
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+MoleReport cats::analyzeProgram(const MoleProgram &Program) {
+  MoleReport Report;
+  Report.ProgramName = Program.Name;
+
+  for (const auto &Group : groupFunctions(Program)) {
+    std::vector<std::string> Names;
+    for (unsigned F : Group)
+      Names.push_back(Program.Functions[F].Name);
+    Report.Groups.push_back(Names);
+
+    // Threads: one instance per function; single-function groups get a
+    // second copy (the paper spawns several instances per entry point).
+    std::vector<MoleThread> Threads;
+    for (unsigned F : Group) {
+      MoleThread Thread;
+      Thread.FunctionName = Program.Functions[F].Name;
+      for (const MoleAccess &A : Program.Functions[F].Body)
+        if (A.AccessKind != MoleAccess::Kind::Fence)
+          Thread.Accesses.push_back(A);
+      Threads.push_back(Thread);
+    }
+    if (Threads.size() == 1)
+      Threads.push_back(Threads.front());
+
+    std::set<std::string> Seen;
+    enumerateCriticalCycles(Threads, Report.Cycles, Seen);
+    findScPerLocationCycles(Threads, Report.Cycles, Seen);
+  }
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// Case studies
+//===----------------------------------------------------------------------===//
+
+MoleProgram cats::rcuProgram() {
+  // Fig. 40, with the macro noise compiled away: gbl_foo is the pointer,
+  // foo1/foo2 the cells, a_value/new_val the channel back to main.
+  MoleProgram P;
+  P.Name = "RCU";
+  P.Functions.push_back(
+      {"foo_update_a",
+       {MoleAccess::write("foo2_a"), MoleAccess::read("gbl_foo"),
+        MoleAccess::read("foo1_a"), MoleAccess::write("foo2_a"),
+        MoleAccess::fence("lwsync"), MoleAccess::write("gbl_foo")}});
+  P.Functions.push_back({"foo_get_a",
+                         {MoleAccess::read("gbl_foo"),
+                          MoleAccess::read("foo2_a"),
+                          MoleAccess::write("a_value")}});
+  P.Functions.push_back(
+      {"main",
+       {MoleAccess::write("foo1_a"), MoleAccess::write("gbl_foo"),
+        MoleAccess::write("new_val"), MoleAccess::read("a_value")}});
+  return P;
+}
+
+MoleProgram cats::postgresProgram() {
+  // The pgsql-hackers worker/latch idiom: each worker writes its work
+  // flag, sets the latch of the peer, then reads its own latch and work
+  // flag; plus a monitor scanning the latches.
+  MoleProgram P;
+  P.Name = "PostgreSQL";
+  P.Functions.push_back(
+      {"worker0",
+       {MoleAccess::write("work0"), MoleAccess::fence("sync"),
+        MoleAccess::write("latch1"), MoleAccess::read("latch0"),
+        MoleAccess::read("work1"), MoleAccess::write("latch0")}});
+  P.Functions.push_back(
+      {"worker1",
+       {MoleAccess::write("work1"), MoleAccess::fence("sync"),
+        MoleAccess::write("latch0"), MoleAccess::read("latch1"),
+        MoleAccess::read("work0"), MoleAccess::write("latch1")}});
+  P.Functions.push_back({"monitor",
+                         {MoleAccess::read("latch0"),
+                          MoleAccess::read("latch1"),
+                          MoleAccess::write("shutdown")}});
+  P.Functions.push_back({"controller",
+                         {MoleAccess::write("shutdown"),
+                          MoleAccess::read("work0"),
+                          MoleAccess::read("work1")}});
+  return P;
+}
+
+MoleProgram cats::apacheProgram() {
+  // The Apache fdqueue idiom: producers push onto a ring and bump the
+  // count; consumers read the count and pop; a recycler reuses slots.
+  MoleProgram P;
+  P.Name = "Apache";
+  P.Functions.push_back({"push",
+                         {MoleAccess::write("slot"),
+                          MoleAccess::fence("sync"),
+                          MoleAccess::write("count")}});
+  P.Functions.push_back({"pop",
+                         {MoleAccess::read("count"),
+                          MoleAccess::read("slot"),
+                          MoleAccess::write("count")}});
+  P.Functions.push_back({"recycle",
+                         {MoleAccess::read("slot"),
+                          MoleAccess::write("slot")}});
+  return P;
+}

@@ -1,0 +1,119 @@
+//===- Mole.h - Static critical-cycle mining (Sec. 9) ---------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mole analysis tool: finds the weak-memory idioms a concurrent
+/// program uses, by enumerating *static critical cycles* over an
+/// overapproximation of its shared-memory accesses (Sec. 9.1):
+///
+///  * cycles alternate program order po and competing accesses cmp
+///    (cross-thread, same location, at least one write);
+///  * at most two accesses per thread, with distinct locations;
+///  * at most three accesses per location, from distinct threads;
+///  * the reduction rules co;co = co, rf;fr = co, fr;co = fr collapse
+///    intermediate threads, yielding the familiar pattern names;
+///  * SC PER LOCATION shapes (coWW, coRW1, coRW2, coWR, coRR) are searched
+///    separately.
+///
+/// Each cycle is classified against the axioms of the model instantiated
+/// for SC, in the order S, T, O, P (Sec. 9.1.3), and named with the
+/// Tab. III conventions.
+///
+/// The input is a mini-IR: straight-line functions of reads/writes/fences
+/// over named shared variables — the substitution for goto-programs from a
+/// Debian-scale C code base (see DESIGN.md). Function grouping by shared
+/// variables follows the paper; every function is an entry-point candidate
+/// and single-function groups are run against a second copy of themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_MOLE_MOLE_H
+#define CATS_MOLE_MOLE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// One access of the mini-IR.
+struct MoleAccess {
+  enum class Kind : uint8_t { Read, Write, Fence };
+  Kind AccessKind = Kind::Read;
+  /// Shared variable name (empty for fences).
+  std::string Var;
+  /// Fence name for Kind::Fence.
+  std::string FenceName;
+
+  static MoleAccess read(std::string Var) {
+    return {Kind::Read, std::move(Var), ""};
+  }
+  static MoleAccess write(std::string Var) {
+    return {Kind::Write, std::move(Var), ""};
+  }
+  static MoleAccess fence(std::string Name) {
+    return {Kind::Fence, "", std::move(Name)};
+  }
+};
+
+/// A straight-line function body.
+struct MoleFunction {
+  std::string Name;
+  std::vector<MoleAccess> Body;
+};
+
+/// A whole program.
+struct MoleProgram {
+  std::string Name;
+  std::vector<MoleFunction> Functions;
+};
+
+/// One discovered cycle.
+struct MoleCycle {
+  /// Pattern name after reduction: classic where known (mp, sb, ...), else
+  /// the systematic directions name (Tab. III).
+  std::string Pattern;
+  /// Which axiom classifies it: "S", "T", "O" or "P".
+  std::string AxiomClass;
+  /// Edge rendering for diagnostics, e.g. "po rf po fr".
+  std::string Edges;
+  /// Number of threads involved.
+  unsigned Threads = 0;
+};
+
+/// Analysis result for one program.
+struct MoleReport {
+  std::string ProgramName;
+  /// Function groups sharing variables (by function name).
+  std::vector<std::vector<std::string>> Groups;
+  /// All static critical cycles plus SC-per-location cycles.
+  std::vector<MoleCycle> Cycles;
+
+  /// Cycle counts by pattern name.
+  std::map<std::string, unsigned> patternCounts() const;
+  /// Cycle counts by axiom class.
+  std::map<std::string, unsigned> axiomCounts() const;
+};
+
+/// Runs the full analysis.
+MoleReport analyzeProgram(const MoleProgram &Program);
+
+//===----------------------------------------------------------------------===//
+// Bundled case studies (the paper's Sec. 8.4/9 examples, as mini-IR)
+//===----------------------------------------------------------------------===//
+
+/// Linux Read-Copy-Update (Fig. 40): updater, reader and init.
+MoleProgram rcuProgram();
+
+/// The PostgreSQL latch/worker idiom (the pgsql-hackers bug).
+MoleProgram postgresProgram();
+
+/// The Apache queue idiom.
+MoleProgram apacheProgram();
+
+} // namespace cats
+
+#endif // CATS_MOLE_MOLE_H

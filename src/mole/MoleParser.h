@@ -1,0 +1,50 @@
+//===- MoleParser.h - Text format for mole mini-IR programs ---*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the mole mini-IR, so users can mine their own programs:
+///
+/// \code
+///   program rcu
+///   fn foo_update_a {
+///     write foo2_a
+///     fence lwsync
+///     write gbl_foo
+///   }
+///   fn foo_get_a {
+///     read gbl_foo
+///     read foo2_a
+///   }
+/// \endcode
+///
+/// `//` starts a comment. Statements: `read <var>`, `write <var>`,
+/// `fence <name>`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_MOLE_MOLEPARSER_H
+#define CATS_MOLE_MOLEPARSER_H
+
+#include "mole/Mole.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace cats {
+
+/// Parses a mini-IR program from \p Text.
+Expected<MoleProgram> parseMoleProgram(const std::string &Text);
+
+/// Reads and parses a .mole file.
+Expected<MoleProgram> parseMoleFile(const std::string &Path);
+
+/// Renders a program back to the text format (round-trips through
+/// parseMoleProgram).
+std::string moleProgramToString(const MoleProgram &Program);
+
+} // namespace cats
+
+#endif // CATS_MOLE_MOLEPARSER_H

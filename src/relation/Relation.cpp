@@ -1,0 +1,391 @@
+//===- Relation.cpp - Dense relation algebra over event ids ---------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "relation/Relation.h"
+
+#include "support/StringUtils.h"
+
+#include <bit>
+
+using namespace cats;
+
+//===----------------------------------------------------------------------===//
+// EventSet
+//===----------------------------------------------------------------------===//
+
+unsigned EventSet::count() const {
+  unsigned Total = 0;
+  for (uint64_t Word : Words)
+    Total += std::popcount(Word);
+  return Total;
+}
+
+bool EventSet::empty() const {
+  for (uint64_t Word : Words)
+    if (Word)
+      return false;
+  return true;
+}
+
+EventSet &EventSet::operator|=(const EventSet &Other) {
+  assert(Universe == Other.Universe && "universe mismatch");
+  for (size_t I = 0; I < Words.size(); ++I)
+    Words[I] |= Other.Words[I];
+  return *this;
+}
+
+EventSet &EventSet::operator&=(const EventSet &Other) {
+  assert(Universe == Other.Universe && "universe mismatch");
+  for (size_t I = 0; I < Words.size(); ++I)
+    Words[I] &= Other.Words[I];
+  return *this;
+}
+
+EventSet &EventSet::operator-=(const EventSet &Other) {
+  assert(Universe == Other.Universe && "universe mismatch");
+  for (size_t I = 0; I < Words.size(); ++I)
+    Words[I] &= ~Other.Words[I];
+  return *this;
+}
+
+EventSet EventSet::complement() const {
+  EventSet Out(Universe);
+  for (size_t I = 0; I < Words.size(); ++I)
+    Out.Words[I] = ~Words[I];
+  // Mask out the bits beyond the universe in the last word.
+  if (Universe % 64 != 0 && !Out.Words.empty())
+    Out.Words.back() &= (uint64_t{1} << (Universe % 64)) - 1;
+  return Out;
+}
+
+void EventSet::forEach(const std::function<void(EventId)> &Fn) const {
+  for (size_t WordIdx = 0; WordIdx < Words.size(); ++WordIdx) {
+    uint64_t Word = Words[WordIdx];
+    while (Word) {
+      unsigned Bit = std::countr_zero(Word);
+      Fn(static_cast<EventId>(WordIdx * 64 + Bit));
+      Word &= Word - 1;
+    }
+  }
+}
+
+std::vector<EventId> EventSet::toVector() const {
+  std::vector<EventId> Out;
+  forEach([&Out](EventId Id) { Out.push_back(Id); });
+  return Out;
+}
+
+EventSet EventSet::all(unsigned UniverseSize) {
+  EventSet Out(UniverseSize);
+  for (EventId Id = 0; Id < UniverseSize; ++Id)
+    Out.insert(Id);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Relation
+//===----------------------------------------------------------------------===//
+
+unsigned Relation::countPairs() const {
+  unsigned Total = 0;
+  for (uint64_t Word : Bits)
+    Total += std::popcount(Word);
+  return Total;
+}
+
+bool Relation::empty() const {
+  for (uint64_t Word : Bits)
+    if (Word)
+      return false;
+  return true;
+}
+
+Relation &Relation::operator|=(const Relation &Other) {
+  assert(Size == Other.Size && "universe mismatch");
+  for (size_t I = 0; I < Bits.size(); ++I)
+    Bits[I] |= Other.Bits[I];
+  return *this;
+}
+
+Relation &Relation::operator&=(const Relation &Other) {
+  assert(Size == Other.Size && "universe mismatch");
+  for (size_t I = 0; I < Bits.size(); ++I)
+    Bits[I] &= Other.Bits[I];
+  return *this;
+}
+
+Relation &Relation::operator-=(const Relation &Other) {
+  assert(Size == Other.Size && "universe mismatch");
+  for (size_t I = 0; I < Bits.size(); ++I)
+    Bits[I] &= ~Other.Bits[I];
+  return *this;
+}
+
+Relation Relation::compose(const Relation &Other) const {
+  assert(Size == Other.Size && "universe mismatch");
+  Relation Out(Size);
+  for (EventId From = 0; From < Size; ++From) {
+    uint64_t *OutRow = Out.row(From);
+    const uint64_t *MidRow = row(From);
+    for (unsigned WordIdx = 0; WordIdx < WordsPerRow; ++WordIdx) {
+      uint64_t Word = MidRow[WordIdx];
+      while (Word) {
+        unsigned Bit = std::countr_zero(Word);
+        EventId Mid = static_cast<EventId>(WordIdx * 64 + Bit);
+        const uint64_t *SrcRow = Other.row(Mid);
+        for (unsigned K = 0; K < WordsPerRow; ++K)
+          OutRow[K] |= SrcRow[K];
+        Word &= Word - 1;
+      }
+    }
+  }
+  return Out;
+}
+
+Relation Relation::inverse() const {
+  Relation Out(Size);
+  for (EventId From = 0; From < Size; ++From) {
+    const uint64_t *SrcRow = row(From);
+    for (unsigned WordIdx = 0; WordIdx < WordsPerRow; ++WordIdx) {
+      uint64_t Word = SrcRow[WordIdx];
+      while (Word) {
+        unsigned Bit = std::countr_zero(Word);
+        Out.set(static_cast<EventId>(WordIdx * 64 + Bit), From);
+        Word &= Word - 1;
+      }
+    }
+  }
+  return Out;
+}
+
+Relation Relation::transitiveClosure() const {
+  // Warshall with word-parallel row unions: if (I, K) then row(I) |= row(K).
+  Relation Out = *this;
+  for (EventId Via = 0; Via < Size; ++Via) {
+    const uint64_t *ViaRow = Out.row(Via);
+    // Copy the via row since row(I) may alias it when I == Via.
+    std::vector<uint64_t> ViaCopy(ViaRow, ViaRow + WordsPerRow);
+    for (EventId From = 0; From < Size; ++From) {
+      if (!Out.test(From, Via))
+        continue;
+      uint64_t *FromRow = Out.row(From);
+      for (unsigned K = 0; K < WordsPerRow; ++K)
+        FromRow[K] |= ViaCopy[K];
+    }
+  }
+  return Out;
+}
+
+Relation Relation::reflexiveTransitiveClosure() const {
+  return transitiveClosure() | identity(Size);
+}
+
+Relation Relation::restrictDomain(const EventSet &Domain) const {
+  assert(Domain.universeSize() == Size && "universe mismatch");
+  Relation Out(Size);
+  for (EventId From = 0; From < Size; ++From) {
+    if (!Domain.contains(From))
+      continue;
+    const uint64_t *SrcRow = row(From);
+    uint64_t *DstRow = Out.row(From);
+    for (unsigned K = 0; K < WordsPerRow; ++K)
+      DstRow[K] = SrcRow[K];
+  }
+  return Out;
+}
+
+Relation Relation::restrictRange(const EventSet &Range) const {
+  assert(Range.universeSize() == Size && "universe mismatch");
+  Relation Out = *this;
+  for (EventId From = 0; From < Size; ++From) {
+    uint64_t *DstRow = Out.row(From);
+    for (unsigned K = 0; K < WordsPerRow; ++K)
+      DstRow[K] &= Range.Words[K];
+  }
+  return Out;
+}
+
+Relation Relation::restrict(const EventSet &Domain,
+                            const EventSet &Range) const {
+  return restrictDomain(Domain).restrictRange(Range);
+}
+
+EventSet Relation::domain() const {
+  EventSet Out(Size);
+  for (EventId From = 0; From < Size; ++From) {
+    const uint64_t *SrcRow = row(From);
+    for (unsigned K = 0; K < WordsPerRow; ++K)
+      if (SrcRow[K]) {
+        Out.insert(From);
+        break;
+      }
+  }
+  return Out;
+}
+
+EventSet Relation::range() const {
+  EventSet Out(Size);
+  for (EventId From = 0; From < Size; ++From) {
+    const uint64_t *SrcRow = row(From);
+    for (unsigned K = 0; K < WordsPerRow; ++K)
+      Out.Words[K] |= SrcRow[K];
+  }
+  return Out;
+}
+
+bool Relation::isIrreflexive() const {
+  for (EventId Id = 0; Id < Size; ++Id)
+    if (test(Id, Id))
+      return false;
+  return true;
+}
+
+bool Relation::isAcyclic() const {
+  // DFS with colours; cheaper than a full closure for the common case.
+  enum Colour : uint8_t { White, Grey, Black };
+  std::vector<uint8_t> Colours(Size, White);
+  std::vector<std::pair<EventId, unsigned>> Stack;
+  for (EventId Root = 0; Root < Size; ++Root) {
+    if (Colours[Root] != White)
+      continue;
+    Stack.clear();
+    Stack.push_back({Root, 0});
+    Colours[Root] = Grey;
+    while (!Stack.empty()) {
+      auto &[Node, Next] = Stack.back();
+      bool Descended = false;
+      for (EventId To = Next; To < Size; ++To) {
+        if (!test(Node, To))
+          continue;
+        if (Colours[To] == Grey)
+          return false;
+        if (Colours[To] == White) {
+          Next = To + 1;
+          Stack.push_back({To, 0});
+          Colours[To] = Grey;
+          Descended = true;
+          break;
+        }
+      }
+      if (!Descended) {
+        Colours[Node] = Black;
+        Stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<EventId, EventId>> Relation::pairs() const {
+  std::vector<std::pair<EventId, EventId>> Out;
+  for (EventId From = 0; From < Size; ++From) {
+    const uint64_t *SrcRow = row(From);
+    for (unsigned WordIdx = 0; WordIdx < WordsPerRow; ++WordIdx) {
+      uint64_t Word = SrcRow[WordIdx];
+      while (Word) {
+        unsigned Bit = std::countr_zero(Word);
+        Out.push_back({From, static_cast<EventId>(WordIdx * 64 + Bit)});
+        Word &= Word - 1;
+      }
+    }
+  }
+  return Out;
+}
+
+EventSet Relation::successors(EventId From) const {
+  EventSet Out(Size);
+  const uint64_t *SrcRow = row(From);
+  for (unsigned K = 0; K < WordsPerRow; ++K)
+    Out.Words[K] = SrcRow[K];
+  return Out;
+}
+
+Relation Relation::identity(unsigned NumEvents) {
+  Relation Out(NumEvents);
+  for (EventId Id = 0; Id < NumEvents; ++Id)
+    Out.set(Id, Id);
+  return Out;
+}
+
+Relation Relation::cross(const EventSet &Domain, const EventSet &Range) {
+  assert(Domain.universeSize() == Range.universeSize() &&
+         "universe mismatch");
+  Relation Out(Domain.universeSize());
+  Domain.forEach([&](EventId From) {
+    uint64_t *DstRow = Out.row(From);
+    for (size_t K = 0; K < Range.Words.size(); ++K)
+      DstRow[K] = Range.Words[K];
+  });
+  return Out;
+}
+
+Relation
+Relation::fromPairs(unsigned NumEvents,
+                    const std::vector<std::pair<EventId, EventId>> &P) {
+  Relation Out(NumEvents);
+  for (auto [From, To] : P)
+    Out.set(From, To);
+  return Out;
+}
+
+std::vector<EventId> Relation::findCycle() const {
+  // DFS; when a grey node is re-entered, unwind the stack to produce the
+  // cycle witness.
+  enum Colour : uint8_t { White, Grey, Black };
+  std::vector<uint8_t> Colours(Size, White);
+  std::vector<EventId> Path;
+
+  std::function<std::vector<EventId>(EventId)> Visit =
+      [&](EventId Node) -> std::vector<EventId> {
+    Colours[Node] = Grey;
+    Path.push_back(Node);
+    for (EventId To = 0; To < Size; ++To) {
+      if (!test(Node, To))
+        continue;
+      if (Colours[To] == Grey) {
+        // Found a back edge: slice the path from To onwards.
+        std::vector<EventId> Cycle;
+        size_t Start = 0;
+        while (Path[Start] != To)
+          ++Start;
+        for (size_t I = Start; I < Path.size(); ++I)
+          Cycle.push_back(Path[I]);
+        Cycle.push_back(To);
+        return Cycle;
+      }
+      if (Colours[To] == White) {
+        auto Cycle = Visit(To);
+        if (!Cycle.empty())
+          return Cycle;
+      }
+    }
+    Colours[Node] = Black;
+    Path.pop_back();
+    return {};
+  };
+
+  for (EventId Root = 0; Root < Size; ++Root) {
+    if (Colours[Root] != White)
+      continue;
+    auto Cycle = Visit(Root);
+    if (!Cycle.empty())
+      return Cycle;
+  }
+  return {};
+}
+
+std::string Relation::toString() const {
+  std::string Out = "{";
+  bool First = true;
+  for (auto [From, To] : pairs()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += strFormat("(%u,%u)", From, To);
+  }
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,105 @@
+//===- Error.h - Lightweight recoverable-error types ----------*- C++ -*-===//
+//
+// Part of the cats project: a C++ reimplementation of the "Herding cats"
+// weak-memory framework (Alglave, Maranget, Tautschnig, 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal LLVM-flavoured error handling. Library code never throws across
+/// its boundary; fallible operations return Expected<T> or Status, which the
+/// caller must inspect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_SUPPORT_ERROR_H
+#define CATS_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cats {
+
+/// A success/failure outcome carrying a human-readable message on failure.
+class Status {
+public:
+  /// Creates a success value.
+  static Status success() { return Status(); }
+
+  /// Creates a failure value with message \p Msg.
+  static Status error(std::string Msg) {
+    Status S;
+    S.Message = std::move(Msg);
+    S.Failed = true;
+    return S;
+  }
+
+  /// True if this holds an error.
+  bool failed() const { return Failed; }
+
+  /// True if this is a success value.
+  explicit operator bool() const { return !Failed; }
+
+  /// The failure message; empty on success.
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+  bool Failed = false;
+};
+
+/// Either a value of type T or an error message, in the spirit of
+/// llvm::Expected. Construct from a T for success, or via Expected::error.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure with message \p Msg.
+  static Expected error(std::string Msg) {
+    Expected E;
+    E.Message = std::move(Msg);
+    return E;
+  }
+
+  /// True on success.
+  explicit operator bool() const { return Value.has_value(); }
+
+  /// Accesses the contained value; asserts on failure values.
+  T &operator*() {
+    assert(Value && "dereferencing an error Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing an error Expected");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing an error Expected");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "dereferencing an error Expected");
+    return &*Value;
+  }
+
+  /// Moves the contained value out; asserts on failure values.
+  T take() {
+    assert(Value && "taking from an error Expected");
+    return std::move(*Value);
+  }
+
+  /// The failure message; empty on success.
+  const std::string &message() const { return Message; }
+
+private:
+  Expected() = default;
+  std::optional<T> Value;
+  std::string Message;
+};
+
+} // namespace cats
+
+#endif // CATS_SUPPORT_ERROR_H

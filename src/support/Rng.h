@@ -1,0 +1,72 @@
+//===- Rng.h - Deterministic pseudo-random number generation --*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, seedable PRNG (SplitMix64 seeding a Xoshiro256**). The
+/// simulated-hardware runner uses it for scheduling decisions, so determinism
+/// under a fixed seed is required for reproducible tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_SUPPORT_RNG_H
+#define CATS_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cats {
+
+/// Xoshiro256** seeded via SplitMix64. Deterministic for a given seed.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    uint64_t X = Seed;
+    for (auto &Word : State) {
+      // SplitMix64 step.
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow needs a nonzero bound");
+    // Rejection-free multiply-shift reduction; slight bias is irrelevant for
+    // scheduling purposes.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Fair-ish coin with probability \p Num / \p Den of returning true.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace cats
+
+#endif // CATS_SUPPORT_RNG_H

@@ -1,0 +1,106 @@
+//===- StringUtils.cpp - Small string helpers -----------------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace cats;
+
+std::vector<std::string> cats::splitString(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  std::string Current;
+  for (char C : Text) {
+    if (C == Sep) {
+      Parts.push_back(Current);
+      Current.clear();
+    } else {
+      Current.push_back(C);
+    }
+  }
+  Parts.push_back(Current);
+  return Parts;
+}
+
+std::vector<std::string> cats::splitWhitespace(const std::string &Text) {
+  std::vector<std::string> Parts;
+  std::string Current;
+  for (char C : Text) {
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      if (!Current.empty()) {
+        Parts.push_back(Current);
+        Current.clear();
+      }
+    } else {
+      Current.push_back(C);
+    }
+  }
+  if (!Current.empty())
+    Parts.push_back(Current);
+  return Parts;
+}
+
+std::string cats::trimString(const std::string &Text) {
+  size_t Begin = 0, End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool cats::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool cats::endsWith(const std::string &Text, const std::string &Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.compare(Text.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+std::string cats::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out;
+  if (Needed > 0) {
+    Out.resize(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, ArgsCopy);
+    Out.resize(static_cast<size_t>(Needed));
+  }
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string cats::joinStrings(const std::vector<std::string> &Parts,
+                              const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string cats::padRight(const std::string &Text, unsigned Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return Text + std::string(Width - Text.size(), ' ');
+}
+
+std::string cats::padLeft(const std::string &Text, unsigned Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return std::string(Width - Text.size(), ' ') + Text;
+}

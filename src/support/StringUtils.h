@@ -1,0 +1,52 @@
+//===- StringUtils.h - Small string helpers -------------------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String splitting, trimming and formatting helpers shared by the parsers
+/// and the table printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_SUPPORT_STRINGUTILS_H
+#define CATS_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// Splits \p Text on character \p Sep; empty fields are kept.
+std::vector<std::string> splitString(const std::string &Text, char Sep);
+
+/// Splits \p Text on any whitespace; empty fields are dropped.
+std::vector<std::string> splitWhitespace(const std::string &Text);
+
+/// Removes leading and trailing whitespace.
+std::string trimString(const std::string &Text);
+
+/// True if \p Text starts with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// True if \p Text ends with \p Suffix.
+bool endsWith(const std::string &Text, const std::string &Suffix);
+
+/// printf-style formatting into a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with separator \p Sep.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+/// Pads or truncates \p Text to exactly \p Width columns (left-aligned).
+std::string padRight(const std::string &Text, unsigned Width);
+
+/// Pads \p Text on the left to \p Width columns (right-aligned).
+std::string padLeft(const std::string &Text, unsigned Width);
+
+} // namespace cats
+
+#endif // CATS_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,76 @@
+//===- bmc.cpp - Tests for the verification substrate -------------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bmc/Verify.h"
+#include "litmus/Catalog.h"
+#include "model/Registry.h"
+
+#include <gtest/gtest.h>
+
+using namespace cats;
+
+namespace {
+
+const LitmusTest &catalogTest(const char *Name) {
+  const CatalogEntry *Entry = catalogEntry(Name);
+  EXPECT_NE(Entry, nullptr) << Name;
+  return Entry->Test;
+}
+
+} // namespace
+
+TEST(Verify, MethodsAgreeOnReachability) {
+  const Model &Power = *modelByName("Power");
+  for (const char *Name : {"mp", "mp+lwsync+addr", "sb+syncs", "sb",
+                           "2+2w", "iriw+lwsyncs", "r+lwsync+sync"}) {
+    const LitmusTest &Test = catalogTest(Name);
+    VerifyResult Ax = verifyAxiomatic(Test, Power);
+    VerifyResult Multi = verifyMultiEvent(Test, Power);
+    VerifyResult Op = verifyOperational(Test, Power);
+    EXPECT_EQ(Ax.Reachable, Multi.Reachable) << Name;
+    EXPECT_EQ(Ax.Reachable, Op.Reachable) << Name;
+    EXPECT_FALSE(Op.Incomplete) << Name;
+  }
+}
+
+TEST(Verify, ReachabilityMatchesCatalogue) {
+  const Model &Power = *modelByName("Power");
+  EXPECT_TRUE(verifyAxiomatic(catalogTest("mp"), Power).Reachable);
+  EXPECT_FALSE(
+      verifyAxiomatic(catalogTest("mp+lwsync+addr"), Power).Reachable);
+}
+
+TEST(Verify, OperationalCostsMore) {
+  // The Table X/XI story: operational work (machine states) dwarfs the
+  // axiomatic work (candidates) on forbidden tests.
+  const Model &Power = *modelByName("Power");
+  const LitmusTest &Test = catalogTest("iriw+syncs");
+  VerifyResult Ax = verifyAxiomatic(Test, Power);
+  VerifyResult Op = verifyOperational(Test, Power);
+  EXPECT_FALSE(Ax.Reachable);
+  EXPECT_GT(Op.Work, Ax.Work);
+}
+
+TEST(Verify, StateLimitMarksIncomplete) {
+  const Model &Power = *modelByName("Power");
+  VerifyResult Op =
+      verifyOperational(catalogTest("iriw+syncs"), Power, 3);
+  EXPECT_TRUE(Op.Incomplete);
+}
+
+TEST(Verify, WorkCountsCandidates) {
+  const Model &Sc = *modelByName("SC");
+  VerifyResult Ax = verifyAxiomatic(catalogTest("mp"), Sc);
+  // mp has 4 candidates; an early witness may cut the walk short.
+  EXPECT_GE(Ax.Work, 1u);
+  EXPECT_LE(Ax.Work, 4u);
+}
+
+TEST(Verify, TimingsAreRecorded) {
+  const Model &Power = *modelByName("Power");
+  VerifyResult Ax = verifyAxiomatic(catalogTest("iriw+syncs"), Power);
+  EXPECT_GE(Ax.Seconds, 0.0);
+}

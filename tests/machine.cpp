@@ -1,0 +1,169 @@
+//===- machine.cpp - Tests for the intermediate machine ----------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Theorem 7.1, empirically: the intermediate machine accepts exactly the
+/// candidate executions the axiomatic model allows, over the entire figure
+/// catalogue, for SC, TSO and Power. Plus multi-event agreement (the
+/// Table IX comparison point must be verdict-identical to single-event).
+///
+//===----------------------------------------------------------------------===//
+
+#include "herd/MultiEvent.h"
+#include "herd/Simulator.h"
+#include "litmus/Catalog.h"
+#include "machine/IntermediateMachine.h"
+#include "model/Registry.h"
+
+#include <gtest/gtest.h>
+
+using namespace cats;
+
+//===----------------------------------------------------------------------===//
+// Theorem 7.1 sweep.
+//===----------------------------------------------------------------------===//
+
+struct EquivCase {
+  size_t EntryIndex;
+  const char *ModelName;
+};
+
+class MachineEquivalenceTest : public ::testing::TestWithParam<EquivCase> {
+};
+
+TEST_P(MachineEquivalenceTest, MachineMatchesAxioms) {
+  const CatalogEntry &Entry = figureCatalog()[GetParam().EntryIndex];
+  const Model *M = modelByName(GetParam().ModelName);
+  ASSERT_NE(M, nullptr);
+  auto Compiled = CompiledTest::compile(Entry.Test);
+  ASSERT_TRUE(static_cast<bool>(Compiled));
+  forEachCandidate(*Compiled, [&](const Candidate &Cand) {
+    if (!Cand.Consistent)
+      return true;
+    bool Axiomatic = M->allows(Cand.Exe);
+    MachineResult Machine = machineAccepts(Cand.Exe, *M);
+    EXPECT_FALSE(Machine.HitLimit);
+    EXPECT_EQ(Machine.Accepted, Axiomatic)
+        << Entry.Test.Name << " under " << M->name() << "\n"
+        << Cand.Exe.toString();
+    return true;
+  });
+}
+
+static std::vector<EquivCase> equivCases() {
+  std::vector<EquivCase> Cases;
+  for (size_t I = 0; I < figureCatalog().size(); ++I)
+    for (const char *Name : {"SC", "TSO", "Power"})
+      Cases.push_back({I, Name});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figures, MachineEquivalenceTest, ::testing::ValuesIn(equivCases()),
+    [](const ::testing::TestParamInfo<EquivCase> &Info) {
+      std::string Name =
+          figureCatalog()[Info.param.EntryIndex].Test.Name +
+          std::string("_") + Info.param.ModelName;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Targeted machine behaviours.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Candidate witnessOf(const char *TestName) {
+  const CatalogEntry *Entry = catalogEntry(TestName);
+  EXPECT_NE(Entry, nullptr) << TestName;
+  auto Compiled = CompiledTest::compile(Entry->Test);
+  EXPECT_TRUE(static_cast<bool>(Compiled));
+  Candidate Witness;
+  bool Found = false;
+  forEachCandidate(*Compiled, [&](const Candidate &Cand) {
+    if (!Found && Cand.Consistent &&
+        Cand.Out.satisfies(Entry->Test.Final)) {
+      Witness = Cand;
+      Found = true;
+    }
+    return true;
+  });
+  EXPECT_TRUE(Found);
+  return Witness;
+}
+
+} // namespace
+
+TEST(Machine, RejectsMpWitnessUnderPowerWithFences) {
+  Candidate Witness = witnessOf("mp+lwsync+addr");
+  MachineResult R = machineAccepts(Witness.Exe, *modelByName("Power"));
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_GT(R.StatesVisited, 0u);
+}
+
+TEST(Machine, AcceptsMpWitnessUnderPowerWithoutFences) {
+  Candidate Witness = witnessOf("mp");
+  MachineResult R = machineAccepts(Witness.Exe, *modelByName("Power"));
+  EXPECT_TRUE(R.Accepted);
+}
+
+TEST(Machine, AcceptsSbWitnessUnderTso) {
+  Candidate Witness = witnessOf("sb");
+  EXPECT_TRUE(machineAccepts(Witness.Exe, *modelByName("TSO")).Accepted);
+  EXPECT_FALSE(machineAccepts(Witness.Exe, *modelByName("SC")).Accepted);
+}
+
+TEST(Machine, StateLimitReported) {
+  Candidate Witness = witnessOf("iriw+lwsyncs");
+  MachineResult R = machineAccepts(Witness.Exe, *modelByName("Power"), 2);
+  EXPECT_TRUE(R.HitLimit || R.StatesVisited <= 2);
+}
+
+TEST(Machine, OperationalCostExceedsAxiomatic) {
+  // The Table IX story in miniature: the machine visits many states where
+  // the axiomatic check is a handful of closures.
+  Candidate Witness = witnessOf("iriw+syncs");
+  MachineResult R = machineAccepts(Witness.Exe, *modelByName("Power"));
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_GT(R.StatesVisited, 20u);
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-event agreement and cost.
+//===----------------------------------------------------------------------===//
+
+class MultiEventTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MultiEventTest, VerdictMatchesSingleEvent) {
+  const CatalogEntry &Entry = figureCatalog()[GetParam()];
+  const Model &Power = *modelByName("Power");
+  auto Compiled = CompiledTest::compile(Entry.Test);
+  ASSERT_TRUE(static_cast<bool>(Compiled));
+  forEachCandidate(*Compiled, [&](const Candidate &Cand) {
+    if (!Cand.Consistent)
+      return true;
+    MultiEventResult Multi = multiEventCheck(Cand.Exe, Power);
+    EXPECT_EQ(Multi.Allowed, Power.allows(Cand.Exe)) << Entry.Test.Name;
+    EXPECT_GT(Multi.ExpandedEvents, Cand.Exe.numEvents());
+    return true;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figures, MultiEventTest,
+    ::testing::Range<size_t>(0, figureCatalog().size()));
+
+TEST(MultiEvent, ExpansionCountsThreads) {
+  Candidate Witness = witnessOf("mp");
+  MultiEventResult R =
+      multiEventCheck(Witness.Exe, *modelByName("Power"));
+  // 4 writes (2 init + 2 program) gain 2 copies each (2 threads), reads
+  // stay single: 6 + 4*2 = 14.
+  EXPECT_EQ(R.ExpandedEvents, 14u);
+}

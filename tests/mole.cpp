@@ -1,0 +1,227 @@
+//===- mole.cpp - Tests for the mole cycle miner ------------------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mole/Mole.h"
+
+#include <gtest/gtest.h>
+
+using namespace cats;
+
+namespace {
+
+/// Two-function program exhibiting exactly one idiom.
+MoleProgram twoFunctions(std::vector<MoleAccess> A,
+                         std::vector<MoleAccess> B) {
+  MoleProgram P;
+  P.Name = "synthetic";
+  P.Functions.push_back({"f0", std::move(A)});
+  P.Functions.push_back({"f1", std::move(B)});
+  return P;
+}
+
+bool hasPattern(const MoleReport &Report, const std::string &Pattern) {
+  return Report.patternCounts().count(Pattern) > 0;
+}
+
+} // namespace
+
+TEST(Mole, FindsMp) {
+  MoleReport Report = analyzeProgram(twoFunctions(
+      {MoleAccess::write("data"), MoleAccess::write("flag")},
+      {MoleAccess::read("flag"), MoleAccess::read("data")}));
+  EXPECT_TRUE(hasPattern(Report, "mp")) << "message passing expected";
+  // mp classifies as OBSERVATION (one fr, rest rf/po).
+  for (const MoleCycle &C : Report.Cycles)
+    if (C.Pattern == "mp")
+      EXPECT_EQ(C.AxiomClass, "O");
+}
+
+TEST(Mole, FindsSb) {
+  MoleReport Report = analyzeProgram(twoFunctions(
+      {MoleAccess::write("x"), MoleAccess::read("y")},
+      {MoleAccess::write("y"), MoleAccess::read("x")}));
+  EXPECT_TRUE(hasPattern(Report, "sb"));
+  for (const MoleCycle &C : Report.Cycles)
+    if (C.Pattern == "sb")
+      EXPECT_EQ(C.AxiomClass, "P") << "two fr steps need PROPAGATION";
+}
+
+TEST(Mole, FindsLbAsThinAir) {
+  MoleReport Report = analyzeProgram(twoFunctions(
+      {MoleAccess::read("x"), MoleAccess::write("y")},
+      {MoleAccess::read("y"), MoleAccess::write("x")}));
+  EXPECT_TRUE(hasPattern(Report, "lb"));
+  for (const MoleCycle &C : Report.Cycles)
+    if (C.Pattern == "lb")
+      EXPECT_EQ(C.AxiomClass, "T") << "rf-only cycles are NO THIN AIR";
+}
+
+TEST(Mole, Finds2p2w) {
+  MoleReport Report = analyzeProgram(twoFunctions(
+      {MoleAccess::write("x"), MoleAccess::write("y")},
+      {MoleAccess::write("y"), MoleAccess::write("x")}));
+  EXPECT_TRUE(hasPattern(Report, "2+2w"));
+  for (const MoleCycle &C : Report.Cycles)
+    if (C.Pattern == "2+2w")
+      EXPECT_EQ(C.AxiomClass, "P");
+}
+
+TEST(Mole, FindsCoherenceShapes) {
+  // One function writing then reading x, another writing x.
+  MoleReport Report = analyzeProgram(twoFunctions(
+      {MoleAccess::write("x"), MoleAccess::read("x")},
+      {MoleAccess::write("x")}));
+  EXPECT_TRUE(hasPattern(Report, "coWR"));
+  // Same-thread write-write pairs.
+  MoleReport Report2 = analyzeProgram(twoFunctions(
+      {MoleAccess::write("x"), MoleAccess::write("x")},
+      {MoleAccess::read("x")}));
+  EXPECT_TRUE(hasPattern(Report2, "coWW"));
+}
+
+TEST(Mole, SelfParallelSingleFunction) {
+  // A single function still races against a second copy of itself.
+  MoleProgram P;
+  P.Name = "solo";
+  P.Functions.push_back({"f",
+                         {MoleAccess::write("x"), MoleAccess::read("y"),
+                          MoleAccess::write("y"), MoleAccess::read("x")}});
+  MoleReport Report = analyzeProgram(P);
+  EXPECT_FALSE(Report.Cycles.empty());
+  ASSERT_EQ(Report.Groups.size(), 1u);
+  EXPECT_EQ(Report.Groups[0].size(), 1u);
+}
+
+TEST(Mole, GroupingSeparatesDisjointFunctions) {
+  MoleProgram P;
+  P.Name = "disjoint";
+  P.Functions.push_back({"a", {MoleAccess::write("x")}});
+  P.Functions.push_back({"b", {MoleAccess::read("x")}});
+  P.Functions.push_back({"c", {MoleAccess::write("unrelated")}});
+  MoleReport Report = analyzeProgram(P);
+  EXPECT_EQ(Report.Groups.size(), 2u);
+}
+
+TEST(Mole, FencesDoNotBreakCycleStructure) {
+  // Static cycles ignore fences: an mp with sync is still an mp cycle
+  // (mole reports idioms, not verdicts).
+  MoleReport Report = analyzeProgram(twoFunctions(
+      {MoleAccess::write("data"), MoleAccess::fence("sync"),
+       MoleAccess::write("flag")},
+      {MoleAccess::read("flag"), MoleAccess::read("data")}));
+  EXPECT_TRUE(hasPattern(Report, "mp"));
+}
+
+TEST(Mole, ReductionCollapsesReaderThread) {
+  // Fig. 39: a write thread, a reader of that write, and the s shape:
+  // rf;fr composes to co, turning ww+rw+r into s.
+  MoleProgram P;
+  P.Name = "reduce";
+  P.Functions.push_back(
+      {"t0", {MoleAccess::write("x"), MoleAccess::write("y")}});
+  P.Functions.push_back(
+      {"t1", {MoleAccess::read("y"), MoleAccess::write("x")}});
+  P.Functions.push_back({"t2", {MoleAccess::read("x")}});
+  MoleReport Report = analyzeProgram(P);
+  // Both the collapsed s and two-thread cycles must be present.
+  EXPECT_TRUE(hasPattern(Report, "s"));
+}
+
+TEST(Mole, PerLocationLimitRespected) {
+  // Four threads all hitting one variable cannot form a critical cycle
+  // with four accesses to it.
+  MoleProgram P;
+  P.Name = "fourhit";
+  for (int I = 0; I < 4; ++I)
+    P.Functions.push_back(
+        {"f" + std::to_string(I),
+         {MoleAccess::write("x"), MoleAccess::read("y")}});
+  MoleReport Report = analyzeProgram(P);
+  for (const MoleCycle &C : Report.Cycles)
+    EXPECT_LE(C.Threads, 3u) << C.Pattern << " " << C.Edges;
+}
+
+TEST(Mole, RcuReportShape) {
+  MoleReport Report = analyzeProgram(rcuProgram());
+  EXPECT_FALSE(Report.Cycles.empty());
+  // The RCU idiom's heart: message passing over gbl_foo/foo2_a.
+  EXPECT_TRUE(hasPattern(Report, "mp"));
+  // All functions share state, so a single group.
+  EXPECT_EQ(Report.Groups.size(), 1u);
+}
+
+TEST(Mole, PostgresReportShape) {
+  MoleReport Report = analyzeProgram(postgresProgram());
+  EXPECT_TRUE(hasPattern(Report, "mp"));
+  EXPECT_TRUE(hasPattern(Report, "sb"))
+      << "the pgsql latch bug is a store-buffering shape";
+  EXPECT_GT(Report.patternCounts().size(), 5u);
+}
+
+TEST(Mole, ApacheReportShape) {
+  MoleReport Report = analyzeProgram(apacheProgram());
+  EXPECT_TRUE(hasPattern(Report, "mp"));
+  auto Axioms = Report.axiomCounts();
+  EXPECT_GT(Axioms["S"], 0u) << "SC-per-location shapes on the slot";
+}
+
+TEST(Mole, CountsAreStable) {
+  // Determinism: two runs agree exactly.
+  MoleReport A = analyzeProgram(postgresProgram());
+  MoleReport B = analyzeProgram(postgresProgram());
+  EXPECT_EQ(A.patternCounts(), B.patternCounts());
+  EXPECT_EQ(A.axiomCounts(), B.axiomCounts());
+}
+
+//===----------------------------------------------------------------------===//
+// The mini-IR text format.
+//===----------------------------------------------------------------------===//
+
+#include "mole/MoleParser.h"
+
+TEST(MoleParser, ParsesProgram) {
+  auto Program = parseMoleProgram(R"(
+program demo
+fn writer {
+  write data
+  fence sync   // publish
+  write flag
+}
+fn reader {
+  read flag
+  read data
+}
+)");
+  ASSERT_TRUE(static_cast<bool>(Program)) << Program.message();
+  EXPECT_EQ(Program->Name, "demo");
+  ASSERT_EQ(Program->Functions.size(), 2u);
+  EXPECT_EQ(Program->Functions[0].Body.size(), 3u);
+  EXPECT_EQ(Program->Functions[0].Body[1].AccessKind,
+            MoleAccess::Kind::Fence);
+  MoleReport Report = analyzeProgram(*Program);
+  EXPECT_GT(Report.patternCounts().count("mp"), 0u);
+}
+
+TEST(MoleParser, RejectsMalformed) {
+  EXPECT_FALSE(static_cast<bool>(parseMoleProgram("read x\n")));
+  EXPECT_FALSE(static_cast<bool>(parseMoleProgram("fn f {\nread x\n")));
+  EXPECT_FALSE(static_cast<bool>(
+      parseMoleProgram("fn f {\nfrob x\n}\n")));
+  EXPECT_FALSE(static_cast<bool>(parseMoleProgram("program x\n")));
+  EXPECT_FALSE(static_cast<bool>(
+      parseMoleProgram("fn f {\nread\n}\n")));
+}
+
+TEST(MoleParser, RoundTrips) {
+  MoleProgram Program = rcuProgram();
+  auto Again = parseMoleProgram(moleProgramToString(Program));
+  ASSERT_TRUE(static_cast<bool>(Again)) << Again.message();
+  EXPECT_EQ(Again->Name, Program.Name);
+  ASSERT_EQ(Again->Functions.size(), Program.Functions.size());
+  // Analysis of the round-trip agrees exactly.
+  EXPECT_EQ(analyzeProgram(*Again).patternCounts(),
+            analyzeProgram(Program).patternCounts());
+}

@@ -1,0 +1,120 @@
+//===- support.cpp - Tests for the support library -------------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cats;
+
+TEST(StringUtils, SplitKeepsEmptyFields) {
+  auto Parts = splitString("a,,b,", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[2], "b");
+  EXPECT_EQ(Parts[3], "");
+}
+
+TEST(StringUtils, SplitSingleField) {
+  auto Parts = splitString("abc", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "abc");
+}
+
+TEST(StringUtils, SplitWhitespaceDropsEmpties) {
+  auto Parts = splitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "foo");
+  EXPECT_EQ(Parts[1], "bar");
+  EXPECT_EQ(Parts[2], "baz");
+}
+
+TEST(StringUtils, SplitWhitespaceAllBlank) {
+  EXPECT_TRUE(splitWhitespace(" \t\n ").empty());
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trimString("  x y  "), "x y");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("   "), "");
+  EXPECT_EQ(trimString("abc"), "abc");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("mp+lwsync+addr", "mp"));
+  EXPECT_FALSE(startsWith("mp", "mp+"));
+  EXPECT_TRUE(endsWith("mp+lwsync+addr", "addr"));
+  EXPECT_FALSE(endsWith("addr", "+addr"));
+}
+
+TEST(StringUtils, Format) {
+  EXPECT_EQ(strFormat("%d %s", 42, "x"), "42 x");
+  EXPECT_EQ(strFormat("%s", ""), "");
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, "+"), "a+b+c");
+  EXPECT_EQ(joinStrings({}, "+"), "");
+  EXPECT_EQ(joinStrings({"solo"}, "+"), "solo");
+}
+
+TEST(StringUtils, Padding) {
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+TEST(Status, SuccessAndError) {
+  Status Ok = Status::success();
+  EXPECT_TRUE(static_cast<bool>(Ok));
+  EXPECT_FALSE(Ok.failed());
+
+  Status Err = Status::error("boom");
+  EXPECT_FALSE(static_cast<bool>(Err));
+  EXPECT_TRUE(Err.failed());
+  EXPECT_EQ(Err.message(), "boom");
+}
+
+TEST(Expected, Roundtrip) {
+  Expected<int> Ok(7);
+  ASSERT_TRUE(static_cast<bool>(Ok));
+  EXPECT_EQ(*Ok, 7);
+
+  auto Err = Expected<int>::error("bad");
+  EXPECT_FALSE(static_cast<bool>(Err));
+  EXPECT_EQ(Err.message(), "bad");
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDifferent |= (A.next() != B.next());
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(Rng, BoundRespected) {
+  Rng R(99);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.nextBelow(7);
+    EXPECT_LT(V, 7u);
+    Seen.insert(V);
+  }
+  // With 1000 draws every residue should appear.
+  EXPECT_EQ(Seen.size(), 7u);
+}
