@@ -8,7 +8,7 @@
 
 #include "support/StringUtils.h"
 
-#include <bit>
+#include "support/Bits.h"
 
 using namespace cats;
 
@@ -19,7 +19,7 @@ using namespace cats;
 unsigned EventSet::count() const {
   unsigned Total = 0;
   for (uint64_t Word : Words)
-    Total += std::popcount(Word);
+    Total += popcount(Word);
   return Total;
 }
 
@@ -65,7 +65,7 @@ void EventSet::forEach(const std::function<void(EventId)> &Fn) const {
   for (size_t WordIdx = 0; WordIdx < Words.size(); ++WordIdx) {
     uint64_t Word = Words[WordIdx];
     while (Word) {
-      unsigned Bit = std::countr_zero(Word);
+      unsigned Bit = countrZero(Word);
       Fn(static_cast<EventId>(WordIdx * 64 + Bit));
       Word &= Word - 1;
     }
@@ -92,7 +92,7 @@ EventSet EventSet::all(unsigned UniverseSize) {
 unsigned Relation::countPairs() const {
   unsigned Total = 0;
   for (uint64_t Word : Bits)
-    Total += std::popcount(Word);
+    Total += popcount(Word);
   return Total;
 }
 
@@ -133,7 +133,7 @@ Relation Relation::compose(const Relation &Other) const {
     for (unsigned WordIdx = 0; WordIdx < WordsPerRow; ++WordIdx) {
       uint64_t Word = MidRow[WordIdx];
       while (Word) {
-        unsigned Bit = std::countr_zero(Word);
+        unsigned Bit = countrZero(Word);
         EventId Mid = static_cast<EventId>(WordIdx * 64 + Bit);
         const uint64_t *SrcRow = Other.row(Mid);
         for (unsigned K = 0; K < WordsPerRow; ++K)
@@ -152,7 +152,7 @@ Relation Relation::inverse() const {
     for (unsigned WordIdx = 0; WordIdx < WordsPerRow; ++WordIdx) {
       uint64_t Word = SrcRow[WordIdx];
       while (Word) {
-        unsigned Bit = std::countr_zero(Word);
+        unsigned Bit = countrZero(Word);
         Out.set(static_cast<EventId>(WordIdx * 64 + Bit), From);
         Word &= Word - 1;
       }
@@ -286,7 +286,7 @@ std::vector<std::pair<EventId, EventId>> Relation::pairs() const {
     for (unsigned WordIdx = 0; WordIdx < WordsPerRow; ++WordIdx) {
       uint64_t Word = SrcRow[WordIdx];
       while (Word) {
-        unsigned Bit = std::countr_zero(Word);
+        unsigned Bit = countrZero(Word);
         Out.push_back({From, static_cast<EventId>(WordIdx * 64 + Bit)});
         Word &= Word - 1;
       }

@@ -197,8 +197,9 @@ TEST(Diy, TsoBatteryUsesMfenceOnly) {
   for (const LitmusTest &Test : Battery)
     for (const ThreadCode &Thread : Test.Threads)
       for (const Instruction &Instr : Thread)
-        if (Instr.Op == Opcode::Fence)
+        if (Instr.Op == Opcode::Fence) {
           EXPECT_EQ(Instr.FenceName, "mfence") << Test.Name;
+        }
 }
 
 TEST(Diy, BatteryCapRespected) {

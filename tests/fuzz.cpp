@@ -192,12 +192,15 @@ TEST_P(FuzzHierarchy, WeakeningIsMonotoneWithoutFences) {
   const Model &Arm = *modelByName("ARM");
   const Model &ArmLlh = *modelByName("ARM llh");
   forEachConsistent(Test, [&](const Candidate &Cand) {
-    if (Sc.allows(Cand.Exe))
+    if (Sc.allows(Cand.Exe)) {
       EXPECT_TRUE(Tso.allows(Cand.Exe)) << Test.toString();
-    if (Tso.allows(Cand.Exe))
+    }
+    if (Tso.allows(Cand.Exe)) {
       EXPECT_TRUE(Power.allows(Cand.Exe)) << Test.toString();
-    if (Arm.allows(Cand.Exe))
+    }
+    if (Arm.allows(Cand.Exe)) {
       EXPECT_TRUE(ArmLlh.allows(Cand.Exe)) << Test.toString();
+    }
   });
 }
 
@@ -233,8 +236,9 @@ TEST_P(FuzzArm, ArmWeakerThanPowerArm) {
   const Model &Arm = *modelByName("ARM");
   const Model &PowerArm = *modelByName("Power-ARM");
   forEachConsistent(Test, [&](const Candidate &Cand) {
-    if (PowerArm.allows(Cand.Exe))
+    if (PowerArm.allows(Cand.Exe)) {
       EXPECT_TRUE(Arm.allows(Cand.Exe)) << Test.toString();
+    }
   });
 }
 

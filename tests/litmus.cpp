@@ -350,8 +350,9 @@ P0:
     int Init = Exe.initWriteOf(0);
     ASSERT_GE(Init, 0);
     for (EventId W : Exe.writesTo(0))
-      if (!Exe.event(W).IsInit)
+      if (!Exe.event(W).IsInit) {
         EXPECT_TRUE(Co.test(static_cast<EventId>(Init), W));
+      }
   }
 }
 

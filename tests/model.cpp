@@ -147,13 +147,16 @@ TEST_P(HierarchyTest, ScStrongerThanTsoStrongerThanPower) {
     if (!Cand.Consistent)
       return true;
     // SC-allowed => TSO-allowed => Power-allowed: the models weaken.
-    if (Sc.allows(Cand.Exe))
+    if (Sc.allows(Cand.Exe)) {
       EXPECT_TRUE(Tso.allows(Cand.Exe)) << Entry.Test.Name;
-    if (TsoComparable && Tso.allows(Cand.Exe))
+    }
+    if (TsoComparable && Tso.allows(Cand.Exe)) {
       EXPECT_TRUE(Power.allows(Cand.Exe)) << Entry.Test.Name;
+    }
     // ARM weakens ARM's SC-per-location into llh.
-    if (Arm.allows(Cand.Exe))
+    if (Arm.allows(Cand.Exe)) {
       EXPECT_TRUE(ArmLlh.allows(Cand.Exe)) << Entry.Test.Name;
+    }
     return true;
   });
 }
@@ -502,12 +505,14 @@ TEST(SparcSiblings, WeakeningChain) {
     forEachCandidate(*Compiled, [&](const Candidate &Cand) {
       if (!Cand.Consistent)
         return true;
-      if (modelByName("TSO")->allows(Cand.Exe))
+      if (modelByName("TSO")->allows(Cand.Exe)) {
         EXPECT_TRUE(modelByName("PSO")->allows(Cand.Exe))
             << Entry.Test.Name;
-      if (modelByName("PSO")->allows(Cand.Exe))
+      }
+      if (modelByName("PSO")->allows(Cand.Exe)) {
         EXPECT_TRUE(modelByName("RMO")->allows(Cand.Exe))
             << Entry.Test.Name;
+      }
       return true;
     });
   }

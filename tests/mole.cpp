@@ -35,8 +35,9 @@ TEST(Mole, FindsMp) {
   EXPECT_TRUE(hasPattern(Report, "mp")) << "message passing expected";
   // mp classifies as OBSERVATION (one fr, rest rf/po).
   for (const MoleCycle &C : Report.Cycles)
-    if (C.Pattern == "mp")
+    if (C.Pattern == "mp") {
       EXPECT_EQ(C.AxiomClass, "O");
+    }
 }
 
 TEST(Mole, FindsSb) {
@@ -45,8 +46,9 @@ TEST(Mole, FindsSb) {
       {MoleAccess::write("y"), MoleAccess::read("x")}));
   EXPECT_TRUE(hasPattern(Report, "sb"));
   for (const MoleCycle &C : Report.Cycles)
-    if (C.Pattern == "sb")
+    if (C.Pattern == "sb") {
       EXPECT_EQ(C.AxiomClass, "P") << "two fr steps need PROPAGATION";
+    }
 }
 
 TEST(Mole, FindsLbAsThinAir) {
@@ -55,8 +57,9 @@ TEST(Mole, FindsLbAsThinAir) {
       {MoleAccess::read("y"), MoleAccess::write("x")}));
   EXPECT_TRUE(hasPattern(Report, "lb"));
   for (const MoleCycle &C : Report.Cycles)
-    if (C.Pattern == "lb")
+    if (C.Pattern == "lb") {
       EXPECT_EQ(C.AxiomClass, "T") << "rf-only cycles are NO THIN AIR";
+    }
 }
 
 TEST(Mole, Finds2p2w) {
@@ -65,8 +68,9 @@ TEST(Mole, Finds2p2w) {
       {MoleAccess::write("y"), MoleAccess::write("x")}));
   EXPECT_TRUE(hasPattern(Report, "2+2w"));
   for (const MoleCycle &C : Report.Cycles)
-    if (C.Pattern == "2+2w")
+    if (C.Pattern == "2+2w") {
       EXPECT_EQ(C.AxiomClass, "P");
+    }
 }
 
 TEST(Mole, FindsCoherenceShapes) {

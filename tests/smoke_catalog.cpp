@@ -1,0 +1,92 @@
+//===- smoke_catalog.cpp - Catalogue-wide smoke test --------------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loads every litmus test shipped in the figure catalogue and asserts the
+/// cheap invariants the rest of the pipeline relies on: each entry validates,
+/// compiles into an execution skeleton, and round-trips through the textual
+/// litmus format. Deliberately avoids running the simulators so the suite
+/// stays fast; verdict checks live in model.cpp and corpus.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Catalog.h"
+#include "litmus/Compiler.h"
+#include "litmus/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+using namespace cats;
+
+namespace {
+
+std::vector<std::string> catalogNames() {
+  std::vector<std::string> Names;
+  for (const CatalogEntry &Entry : figureCatalog())
+    Names.push_back(Entry.Test.Name);
+  return Names;
+}
+
+} // namespace
+
+TEST(SmokeCatalog, CatalogueIsNonEmptyWithUniqueNames) {
+  const auto &Catalog = figureCatalog();
+  ASSERT_FALSE(Catalog.empty());
+  std::set<std::string> Seen;
+  for (const CatalogEntry &Entry : Catalog) {
+    EXPECT_FALSE(Entry.Test.Name.empty()) << Entry.Figure;
+    EXPECT_TRUE(Seen.insert(Entry.Test.Name).second)
+        << "duplicate test name " << Entry.Test.Name;
+    EXPECT_NE(catalogEntry(Entry.Test.Name), nullptr) << Entry.Test.Name;
+  }
+}
+
+class SmokeCatalogTest : public ::testing::TestWithParam<std::string> {
+protected:
+  void SetUp() override {
+    Entry = catalogEntry(GetParam());
+    ASSERT_NE(Entry, nullptr) << GetParam();
+  }
+
+  const CatalogEntry &entry() const { return *Entry; }
+
+private:
+  const CatalogEntry *Entry = nullptr;
+};
+
+TEST_P(SmokeCatalogTest, Validates) {
+  EXPECT_EQ(entry().Test.validate(), "") << entry().Figure;
+}
+
+TEST_P(SmokeCatalogTest, Compiles) {
+  auto Compiled = CompiledTest::compile(entry().Test);
+  ASSERT_TRUE(static_cast<bool>(Compiled)) << Compiled.message();
+  EXPECT_GT(Compiled->skeleton().numEvents(), 0u);
+  EXPECT_GT(Compiled->candidateCount(), 0ull);
+}
+
+TEST_P(SmokeCatalogTest, RoundTripsThroughText) {
+  const LitmusTest &Test = entry().Test;
+  auto Reparsed = parseLitmus(Test.toString());
+  ASSERT_TRUE(static_cast<bool>(Reparsed)) << Reparsed.message();
+  EXPECT_EQ(Reparsed->Name, Test.Name);
+  EXPECT_EQ(Reparsed->TargetArch, Test.TargetArch);
+  EXPECT_EQ(Reparsed->Threads.size(), Test.Threads.size());
+  EXPECT_EQ(Reparsed->Final.toString(), Test.Final.toString());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFigures, SmokeCatalogTest,
+                         ::testing::ValuesIn(catalogNames()),
+                         [](const ::testing::TestParamInfo<std::string> &Info) {
+                           std::string Name = Info.param;
+                           for (char &C : Name)
+                             if (!std::isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return Name;
+                         });

@@ -1,0 +1,53 @@
+//===- export_corpus.cpp - Regenerate the .litmus corpus ----------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Writes every figure-catalogue entry to <output-dir>/<name>.litmus in the
+/// textual format understood by parseLitmusFile. tests/corpus.cpp asserts the
+/// committed litmus/ directory stays in sync with the catalogue; rerun
+///
+///   build/export_corpus litmus
+///
+/// from the repository root after changing src/litmus/Catalog.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Catalog.h"
+#include "litmus/Parser.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace cats;
+
+int main(int argc, char **argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 1;
+  }
+  const std::string OutDir = argv[1];
+  unsigned Written = 0;
+  for (const CatalogEntry &Entry : figureCatalog()) {
+    std::string Text = Entry.Test.toString();
+    // Refuse to write anything the parser cannot read back.
+    auto Reparsed = parseLitmus(Text);
+    if (!Reparsed) {
+      std::fprintf(stderr, "%s does not round-trip: %s\n",
+                   Entry.Test.Name.c_str(), Reparsed.message().c_str());
+      return 1;
+    }
+    std::string Path = OutDir + "/" + Entry.Test.Name + ".litmus";
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return 1;
+    }
+    Out << Text;
+    ++Written;
+  }
+  std::printf("wrote %u litmus files to %s\n", Written, OutDir.c_str());
+  return 0;
+}
