@@ -9,12 +9,15 @@
 /// paper (Figs. 6-20, 27-37, 39) under every model the paper documents a
 /// verdict for, and prints paper-vs-measured.
 ///
+/// Runs on the sweep engine: one job per figure carrying the documented
+/// model set, so each test's candidate space is enumerated once for all its
+/// models and the jobs spread across the worker pool.
+///
 //===----------------------------------------------------------------------===//
 
-#include "herd/Simulator.h"
 #include "litmus/Catalog.h"
 #include "model/Registry.h"
-#include "support/StringUtils.h"
+#include "sweep/SweepEngine.h"
 
 #include <cstdio>
 
@@ -22,24 +25,51 @@ using namespace cats;
 
 int main() {
   std::printf("== Figure verdicts: paper vs this implementation ==\n\n");
+
+  // One sweep job per catalogue entry, judging exactly the models the
+  // paper documents a verdict for.
+  const auto &Catalog = figureCatalog();
+  std::vector<SweepJob> Jobs;
+  Jobs.reserve(Catalog.size());
+  for (const CatalogEntry &Entry : Catalog) {
+    SweepJob Job;
+    Job.Test = Entry.Test;
+    for (const auto &[ModelName, Expected] : Entry.Expected) {
+      (void)Expected;
+      if (const Model *M = modelByName(ModelName))
+        Job.Models.push_back(M);
+    }
+    Jobs.push_back(std::move(Job));
+  }
+
+  SweepReport Report = SweepEngine().run(Jobs);
+
   std::printf("%-34s %-18s %-10s %-7s %-7s %s\n", "test", "figure", "model",
               "paper", "ours", "match");
   unsigned Total = 0, Matches = 0;
-  for (const CatalogEntry &Entry : figureCatalog()) {
+  for (size_t I = 0; I < Catalog.size(); ++I) {
+    const CatalogEntry &Entry = Catalog[I];
+    const SweepTestResult &T = Report.Tests[I];
+    if (!T.Error.empty()) {
+      std::printf("%-34s %-18s ERROR: %s\n", Entry.Test.Name.c_str(),
+                  Entry.Figure.c_str(), T.Error.c_str());
+      ++Total;
+      continue;
+    }
     for (const auto &[ModelName, Expected] : Entry.Expected) {
-      const Model *M = modelByName(ModelName);
-      if (!M)
+      const SimulationResult *R = T.Result.forModel(ModelName);
+      if (!R)
         continue;
-      SimulationResult R = simulate(Entry.Test, *M);
-      bool Match = R.ConditionReachable == Expected;
+      bool Match = R->ConditionReachable == Expected;
       ++Total;
       Matches += Match;
       std::printf("%-34s %-18s %-10s %-7s %-7s %s\n",
                   Entry.Test.Name.c_str(), Entry.Figure.c_str(),
                   ModelName.c_str(), Expected ? "Allow" : "Forbid",
-                  R.verdict(), Match ? "yes" : "NO");
+                  R->verdict(), Match ? "yes" : "NO");
     }
   }
-  std::printf("\n%u/%u verdicts match the paper.\n", Matches, Total);
+  std::printf("\n%u/%u verdicts match the paper (%u workers, %.3fs).\n",
+              Matches, Total, Report.Jobs, Report.WallSeconds);
   return Matches == Total ? 0 : 1;
 }

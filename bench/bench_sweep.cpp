@@ -1,0 +1,271 @@
+//===- bench_sweep.cpp - Shared-enumeration sweep vs legacy path ----------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The catalogue benchmark behind BENCH_sweep.json and the CI perf gate:
+/// run the full figure catalogue against every registry model twice —
+///
+///   legacy: one simulate() per (test, model), i.e. the candidate space of
+///           each test is re-enumerated once per model;
+///   sweep:  SweepEngine jobs, one shared enumeration per test with all
+///           models checked per candidate, at 1 worker and at --jobs.
+///
+/// Each measurement repeats --repeats times and keeps the best wall time.
+/// Modes:
+///
+///   bench_sweep                      print the comparison table
+///   bench_sweep --out FILE           also write the cats-bench-sweep/1
+///                                    snapshot (the committed baseline)
+///   bench_sweep --check FILE         re-measure and fail (exit 1) when the
+///                                    sweep path regressed: normalized cost
+///                                    (sweep/legacy, same run) more than
+///                                    --tolerance (default 0.25) above the
+///                                    committed baseline, or total speedup
+///                                    below 2x.
+///
+//===----------------------------------------------------------------------===//
+
+#include "herd/Simulator.h"
+#include "litmus/Catalog.h"
+#include "litmus/Compiler.h"
+#include "model/Registry.h"
+#include "sweep/SweepEngine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cats;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed(Clock::time_point From) {
+  return std::chrono::duration<double>(Clock::now() - From).count();
+}
+
+/// One full legacy pass: per-model simulate over every test, collecting
+/// the reachability bit per (test, model) for the equivalence check.
+double runLegacy(const std::vector<LitmusTest> &Tests,
+                 const std::vector<const Model *> &Models,
+                 std::vector<bool> &Verdicts) {
+  Verdicts.clear();
+  const auto Start = Clock::now();
+  for (const LitmusTest &Test : Tests) {
+    auto Compiled = CompiledTest::compile(Test);
+    for (const Model *M : Models)
+      Verdicts.push_back(simulate(*Compiled, *M).ConditionReachable);
+  }
+  return elapsed(Start);
+}
+
+/// One sweep pass at \p Jobs workers.
+double runSweep(const std::vector<SweepJob> &JobsIn, unsigned Jobs,
+                std::vector<bool> &Verdicts) {
+  Verdicts.clear();
+  SweepEngine Engine(SweepOptions{Jobs});
+  const auto Start = Clock::now();
+  SweepReport Report = Engine.run(JobsIn);
+  const double Wall = elapsed(Start);
+  for (const SweepTestResult &T : Report.Tests)
+    for (const SimulationResult &R : T.Result.PerModel)
+      Verdicts.push_back(R.ConditionReachable);
+  return Wall;
+}
+
+struct Measurement {
+  double LegacySeconds = 0;
+  double SweepSecondsJ1 = 0;
+  double SweepSeconds = 0;
+  bool VerdictsMatch = true;
+};
+
+Measurement measure(unsigned Jobs, unsigned Repeats) {
+  std::vector<LitmusTest> Tests;
+  for (const CatalogEntry &Entry : figureCatalog())
+    Tests.push_back(Entry.Test);
+  const std::vector<const Model *> &Models = allModels();
+  const std::vector<SweepJob> JobsIn = makeJobs(Tests, Models);
+
+  Measurement M;
+  M.LegacySeconds = 1e300;
+  M.SweepSecondsJ1 = 1e300;
+  M.SweepSeconds = 1e300;
+  std::vector<bool> Legacy, Shared, SharedJ1;
+  for (unsigned R = 0; R < Repeats; ++R) {
+    M.LegacySeconds =
+        std::min(M.LegacySeconds, runLegacy(Tests, Models, Legacy));
+    M.SweepSecondsJ1 =
+        std::min(M.SweepSecondsJ1, runSweep(JobsIn, 1, SharedJ1));
+    M.SweepSeconds = std::min(M.SweepSeconds, runSweep(JobsIn, Jobs, Shared));
+    if (Legacy != Shared || Legacy != SharedJ1)
+      M.VerdictsMatch = false;
+  }
+  return M;
+}
+
+JsonValue toJson(const Measurement &M, unsigned Jobs, unsigned Repeats) {
+  JsonValue Root = JsonValue::object();
+  Root.set("schema", "cats-bench-sweep/1");
+  Root.set("tests", static_cast<unsigned>(figureCatalog().size()));
+  Root.set("models", static_cast<unsigned>(allModels().size()));
+  Root.set("jobs", Jobs);
+  Root.set("repeats", Repeats);
+  Root.set("legacy_seconds", M.LegacySeconds);
+  Root.set("sweep_seconds_j1", M.SweepSecondsJ1);
+  Root.set("sweep_seconds", M.SweepSeconds);
+  Root.set("speedup_shared", M.LegacySeconds / M.SweepSecondsJ1);
+  Root.set("speedup_total", M.LegacySeconds / M.SweepSeconds);
+  Root.set("normalized_sweep_cost", M.SweepSeconds / M.LegacySeconds);
+  Root.set("verdicts_match_legacy", M.VerdictsMatch);
+  return Root;
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--repeats N] [--out FILE]\n"
+               "          [--check FILE] [--tolerance F] [--min-speedup F]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Jobs = 4, Repeats = 10;
+  double Tolerance = 0.25, MinSpeedup = 2.0;
+  std::string OutPath, CheckPath;
+
+  for (int I = 1; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    auto Value = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--jobs") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--repeats") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      Repeats = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--out") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      OutPath = V;
+    } else if (Arg == "--check") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      CheckPath = V;
+    } else if (Arg == "--tolerance") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      Tolerance = std::strtod(V, nullptr);
+    } else if (Arg == "--min-speedup") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      MinSpeedup = std::strtod(V, nullptr);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (Jobs == 0 || Repeats == 0)
+    return usage(argv[0]);
+
+  std::printf("== Shared-enumeration sweep vs legacy per-model simulate ==\n");
+  std::printf("catalogue: %zu tests x %zu models, best of %u repeats\n\n",
+              figureCatalog().size(), allModels().size(), Repeats);
+
+  Measurement M = measure(Jobs, Repeats);
+
+  std::printf("%-38s %10.4fs\n", "legacy (enumerate once per model)",
+              M.LegacySeconds);
+  std::printf("%-38s %10.4fs  (%.2fx)\n",
+              "sweep, shared enumeration, 1 worker", M.SweepSecondsJ1,
+              M.LegacySeconds / M.SweepSecondsJ1);
+  char Label[64];
+  std::snprintf(Label, sizeof(Label), "sweep, shared enumeration, %u workers",
+                Jobs);
+  std::printf("%-38s %10.4fs  (%.2fx)\n", Label, M.SweepSeconds,
+              M.LegacySeconds / M.SweepSeconds);
+  std::printf("verdicts identical to legacy: %s\n",
+              M.VerdictsMatch ? "yes" : "NO");
+
+  if (!M.VerdictsMatch) {
+    std::fprintf(stderr, "FAIL: sweep verdicts differ from the legacy path\n");
+    return 1;
+  }
+
+  if (!OutPath.empty()) {
+    std::ofstream Out(OutPath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+      return 1;
+    }
+    Out << toJson(M, Jobs, Repeats).dump();
+    std::printf("wrote %s\n", OutPath.c_str());
+  }
+
+  if (!CheckPath.empty()) {
+    std::ifstream In(CheckPath);
+    if (!In) {
+      std::fprintf(stderr, "cannot read baseline %s\n", CheckPath.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    auto Baseline = JsonValue::parse(Buf.str());
+    if (!Baseline) {
+      std::fprintf(stderr, "bad baseline %s: %s\n", CheckPath.c_str(),
+                   Baseline.message().c_str());
+      return 1;
+    }
+    const JsonValue *Cost = Baseline->get("normalized_sweep_cost");
+    if (!Cost || !Cost->isNumber()) {
+      std::fprintf(stderr, "baseline %s lacks normalized_sweep_cost\n",
+                   CheckPath.c_str());
+      return 1;
+    }
+
+    // The gate compares the normalized cost of the sweep path (sweep wall
+    // time over legacy wall time, both measured in this run) against the
+    // committed baseline: an algorithmic or build regression moves this
+    // ratio even though absolute wall times differ per runner.
+    const double Fresh = M.SweepSeconds / M.LegacySeconds;
+    const double Allowed = Cost->asNumber() * (1.0 + Tolerance);
+    const double SpeedupTotal = M.LegacySeconds / M.SweepSeconds;
+    std::printf("\nperf gate: normalized sweep cost %.4f (baseline %.4f, "
+                "allowed <= %.4f), total speedup %.2fx (required >= %.2f)\n",
+                Fresh, Cost->asNumber(), Allowed, SpeedupTotal, MinSpeedup);
+    if (Fresh > Allowed) {
+      std::fprintf(stderr,
+                   "FAIL: sweep wall time regressed more than %.0f%% vs the "
+                   "committed baseline\n",
+                   Tolerance * 100);
+      return 1;
+    }
+    if (SpeedupTotal < MinSpeedup) {
+      std::fprintf(stderr, "FAIL: sweep speedup %.2fx is below the required "
+                   "%.2fx\n", SpeedupTotal, MinSpeedup);
+      return 1;
+    }
+    std::printf("perf gate passed\n");
+  }
+
+  return 0;
+}

@@ -116,21 +116,43 @@ int Execution::initWriteOf(Location Loc) const {
   return -1;
 }
 
+namespace {
+
+/// Memoizes \p Compute into \p Slot when \p Enabled; transparent otherwise.
+template <typename ComputeFn>
+Relation memoized(bool Enabled, std::optional<Relation> &Slot,
+                  const ComputeFn &Compute) {
+  if (Enabled && Slot)
+    return *Slot;
+  Relation R = Compute();
+  if (Enabled)
+    Slot = R;
+  return R;
+}
+
+} // namespace
+
 Relation Execution::poLoc() const {
-  Relation Out(numEvents());
-  for (auto [From, To] : Po.pairs())
-    if (Events[From].Loc == Events[To].Loc)
-      Out.set(From, To);
-  return Out;
+  return memoized(DerivedCacheEnabled, Cache.PoLoc, [&] {
+    Relation Out(numEvents());
+    for (auto [From, To] : Po.pairs())
+      if (Events[From].Loc == Events[To].Loc)
+        Out.set(From, To);
+    return Out;
+  });
 }
 
 Relation Execution::fr() const {
   // fr = rf^-1 ; co : a read r is fr-before any write co-after the write it
   // reads from.
-  return Rf.inverse().compose(Co);
+  return memoized(DerivedCacheEnabled, Cache.Fr,
+                  [&] { return Rf.inverse().compose(Co); });
 }
 
-Relation Execution::com() const { return Co | Rf | fr(); }
+Relation Execution::com() const {
+  return memoized(DerivedCacheEnabled, Cache.Com,
+                  [&] { return Co | Rf | fr(); });
+}
 
 Relation Execution::internal(const Relation &R) const {
   Relation Out(numEvents());
@@ -154,9 +176,50 @@ Relation Execution::external(const Relation &R) const {
   return Out;
 }
 
-Relation Execution::rdw() const { return poLoc() & fre().compose(rfe()); }
+Relation Execution::rfe() const {
+  return memoized(DerivedCacheEnabled, Cache.Rfe,
+                  [&] { return external(Rf); });
+}
 
-Relation Execution::detour() const { return poLoc() & coe().compose(rfe()); }
+Relation Execution::coe() const {
+  return memoized(DerivedCacheEnabled, Cache.Coe,
+                  [&] { return external(Co); });
+}
+
+Relation Execution::fre() const {
+  return memoized(DerivedCacheEnabled, Cache.Fre,
+                  [&] { return external(fr()); });
+}
+
+Relation Execution::rdw() const {
+  return memoized(DerivedCacheEnabled, Cache.Rdw,
+                  [&] { return poLoc() & fre().compose(rfe()); });
+}
+
+Relation Execution::detour() const {
+  return memoized(DerivedCacheEnabled, Cache.Detour,
+                  [&] { return poLoc() & coe().compose(rfe()); });
+}
+
+Relation Execution::comStar() const {
+  return memoized(DerivedCacheEnabled, Cache.ComStar,
+                  [&] { return com().reflexiveTransitiveClosure(); });
+}
+
+Relation Execution::modelMemo(
+    const void *Tag, unsigned Slot,
+    const std::function<Relation()> &Compute) const {
+  if (!DerivedCacheEnabled)
+    return Compute();
+  for (const ModelCacheEntry &E : ModelCache)
+    if (E.Tag == Tag && E.Slot == Slot)
+      return E.Rel;
+  Relation R = Compute();
+  if (ModelCache.empty())
+    ModelCache.reserve(48);
+  ModelCache.push_back(ModelCacheEntry{Tag, Slot, R});
+  return R;
+}
 
 std::string Execution::toString() const {
   std::string Out;

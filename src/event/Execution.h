@@ -21,8 +21,11 @@
 #include "event/Event.h"
 #include "relation/Relation.h"
 
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cats {
@@ -153,11 +156,11 @@ public:
   Relation external(const Relation &R) const;
 
   Relation rfi() const { return internal(Rf); }
-  Relation rfe() const { return external(Rf); }
+  Relation rfe() const;
   Relation coi() const { return internal(Co); }
-  Relation coe() const { return external(Co); }
+  Relation coe() const;
   Relation fri() const { return internal(fr()); }
-  Relation fre() const { return external(fr()); }
+  Relation fre() const;
 
   /// Read-different-writes (Fig. 27): po-loc & (fre; rfe).
   Relation rdw() const;
@@ -165,13 +168,58 @@ public:
   /// Detour (Fig. 28): po-loc & (coe; rfe).
   Relation detour() const;
 
+  /// Reflexive-transitive closure of com (memoized like the relations
+  /// above; used by the Power/ARM prop).
+  Relation comStar() const;
+
   /// Pretty-prints the execution (events plus rf/co/fr pairs).
   std::string toString() const;
+
+  //===--------------------------------------------------------------------===//
+  // Derived-relation memoization (opt-in)
+  //===--------------------------------------------------------------------===//
+
+  /// Enables memoization of the derived relations above (po-loc, fr, com,
+  /// the rf/co/fr splits, rdw, detour). Only call once the execution is
+  /// final: the cache is never invalidated, so mutating Po/Rf/Co/... after
+  /// enabling returns stale derived relations.
+  ///
+  /// The multi-model checker opts candidates in before judging them, so
+  /// when N models are checked against one candidate the shared relations
+  /// are computed once instead of once per model. Executions that never
+  /// opt in behave exactly as before (no caching).
+  void enableDerivedCache() const { DerivedCacheEnabled = true; }
+
+  /// Model-tagged memoization under the same opt-in: caches the result of
+  /// \p Compute per (Tag, Slot), where Tag identifies the model instance
+  /// and Slot the relation being derived. Model::check and the model
+  /// implementations use this so e.g. the Power ppo fixpoint runs once per
+  /// candidate even though both the axioms and prop need it. Transparent
+  /// (no caching) while the derived cache is disabled.
+  Relation modelMemo(const void *Tag, unsigned Slot,
+                     const std::function<Relation()> &Compute) const;
 
 private:
   std::vector<Event> Events;
   unsigned NumThreads = 0;
   std::map<std::string, Location> LocationIds;
+
+  /// Lazily-filled memo slots, live only when DerivedCacheEnabled. Copies
+  /// of the execution carry the cache along (same relations, still valid).
+  struct DerivedCache {
+    std::optional<Relation> PoLoc, Fr, Com, Rfe, Coe, Fre, Rdw, Detour,
+        ComStar;
+  };
+  mutable DerivedCache Cache;
+  /// Flat store for modelMemo: a handful of (tag, slot) entries per
+  /// candidate, where a linear scan beats a node-based map.
+  struct ModelCacheEntry {
+    const void *Tag;
+    unsigned Slot;
+    Relation Rel;
+  };
+  mutable std::vector<ModelCacheEntry> ModelCache;
+  mutable bool DerivedCacheEnabled = false;
 };
 
 } // namespace cats

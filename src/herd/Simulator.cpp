@@ -37,28 +37,85 @@ void cats::forEachCandidate(
   }
 }
 
-SimulationResult cats::simulate(const CompiledTest &Compiled,
-                                const Model &M) {
-  SimulationResult Result;
-  Result.TestName = Compiled.test().Name;
-  Result.ModelName = M.name();
-  const Condition &Final = Compiled.test().Final;
+const SimulationResult *
+MultiSimulationResult::forModel(const std::string &Name) const {
+  for (const SimulationResult &R : PerModel)
+    if (R.ModelName == Name)
+      return &R;
+  return nullptr;
+}
 
+MultiModelChecker::MultiModelChecker(const CompiledTest &Compiled,
+                                     std::vector<const Model *> ModelsIn)
+    : Final(Compiled.test().Final), Models(std::move(ModelsIn)) {
+  Result.TestName = Compiled.test().Name;
+  Result.PerModel.resize(Models.size());
+  for (size_t I = 0; I < Models.size(); ++I) {
+    Result.PerModel[I].TestName = Result.TestName;
+    Result.PerModel[I].ModelName = Models[I]->name();
+  }
+}
+
+void MultiModelChecker::feed(const Candidate &Cand) {
+  ++Result.CandidatesTotal;
+  if (!Cand.Consistent)
+    return;
+  ++Result.CandidatesConsistent;
+
+  // The candidate is final by now: let every model check share one
+  // computation of the derived relations (fr, po-loc, com, ...). The
+  // outcome's key cache is already on (enabled by concretize), so the
+  // outcome-set inserts below compare memoized keys instead of
+  // rebuilding the key string per comparison.
+  Cand.Exe.enableDerivedCache();
+
+  // Model-independent work, once per candidate.
+  Result.ConsistentOutcomes.insert(Cand.Out);
+  const bool SatisfiesFinal = Cand.Out.satisfies(Final);
+
+  for (size_t I = 0; I < Models.size(); ++I) {
+    if (!Models[I]->allows(Cand.Exe))
+      continue;
+    SimulationResult &R = Result.PerModel[I];
+    ++R.CandidatesAllowed;
+    R.AllowedOutcomes.insert(Cand.Out);
+    if (SatisfiesFinal)
+      R.ConditionReachable = true;
+  }
+}
+
+MultiSimulationResult MultiModelChecker::take() {
+  // Mirror the shared fields so each PerModel entry stands alone.
+  for (SimulationResult &R : Result.PerModel) {
+    R.CandidatesTotal = Result.CandidatesTotal;
+    R.CandidatesConsistent = Result.CandidatesConsistent;
+    R.ConsistentOutcomes = Result.ConsistentOutcomes;
+  }
+  return std::move(Result);
+}
+
+MultiSimulationResult
+cats::simulateAll(const CompiledTest &Compiled,
+                  const std::vector<const Model *> &Models) {
+  MultiModelChecker Checker(Compiled, Models);
   forEachCandidate(Compiled, [&](const Candidate &Cand) {
-    ++Result.CandidatesTotal;
-    if (!Cand.Consistent)
-      return true;
-    ++Result.CandidatesConsistent;
-    Result.ConsistentOutcomes.insert(Cand.Out);
-    if (!M.allows(Cand.Exe))
-      return true;
-    ++Result.CandidatesAllowed;
-    Result.AllowedOutcomes.insert(Cand.Out);
-    if (Cand.Out.satisfies(Final))
-      Result.ConditionReachable = true;
+    Checker.feed(Cand);
     return true;
   });
-  return Result;
+  return Checker.take();
+}
+
+MultiSimulationResult
+cats::simulateAll(const LitmusTest &Test,
+                  const std::vector<const Model *> &Models) {
+  auto Compiled = CompiledTest::compile(Test);
+  assert(Compiled && "litmus test failed to compile");
+  return simulateAll(*Compiled, Models);
+}
+
+SimulationResult cats::simulate(const CompiledTest &Compiled,
+                                const Model &M) {
+  return simulateAll(Compiled, {&M}).PerModel.front();
 }
 
 SimulationResult cats::simulate(const LitmusTest &Test, const Model &M) {

@@ -49,12 +49,69 @@ struct SimulationResult {
   }
 };
 
+/// Result of simulating one test under a set of models in a single
+/// shared-enumeration pass. The candidate space of a test does not depend
+/// on the model, so the model-independent fields live here, computed once,
+/// while perModel() carries the verdict-specific counts.
+struct MultiSimulationResult {
+  std::string TestName;
+  /// Raw candidate count (rf choices x coherence orders); shared.
+  unsigned long long CandidatesTotal = 0;
+  /// Candidates surviving value-consistency; shared.
+  unsigned long long CandidatesConsistent = 0;
+  /// Distinct outcomes over all consistent candidates; shared.
+  std::set<Outcome> ConsistentOutcomes;
+  /// One entry per requested model, in request order. The shared fields
+  /// above are mirrored into each entry so every element is a complete
+  /// SimulationResult, interchangeable with the single-model simulate().
+  std::vector<SimulationResult> PerModel;
+
+  /// The entry for model \p Name; nullptr when the model was not swept.
+  const SimulationResult *forModel(const std::string &Name) const;
+};
+
 /// Visits every candidate execution of \p Compiled (consistent or not).
 /// Return false from the callback to stop early.
 void forEachCandidate(const CompiledTest &Compiled,
                       const std::function<bool(const Candidate &)> &Fn);
 
-/// Runs the full simulation of \p Compiled under \p M.
+/// Accumulates per-model verdicts over a stream of candidates, computing
+/// the model-independent work (consistency counts, outcome keys, final
+/// condition evaluation) exactly once per candidate. Feed every candidate
+/// of one compiled test, then call take().
+///
+/// This is the engine under both simulate() overloads and the sweep
+/// subsystem; instances are single-use and not thread-safe (one checker
+/// per worker).
+class MultiModelChecker {
+public:
+  MultiModelChecker(const CompiledTest &Compiled,
+                    std::vector<const Model *> Models);
+
+  /// Accounts one candidate under every model.
+  void feed(const Candidate &Cand);
+
+  /// Finalizes and returns the result; the checker is spent afterwards.
+  MultiSimulationResult take();
+
+private:
+  const Condition &Final;
+  std::vector<const Model *> Models;
+  MultiSimulationResult Result;
+};
+
+/// Runs one shared candidate enumeration of \p Compiled and checks every
+/// model in \p Models against each candidate.
+MultiSimulationResult simulateAll(const CompiledTest &Compiled,
+                                  const std::vector<const Model *> &Models);
+
+/// Convenience overload: compiles \p Test first. Asserts on compile errors
+/// (use CompiledTest::compile directly for fallible input).
+MultiSimulationResult simulateAll(const LitmusTest &Test,
+                                  const std::vector<const Model *> &Models);
+
+/// Runs the full simulation of \p Compiled under \p M (the one-model case
+/// of simulateAll).
 SimulationResult simulate(const CompiledTest &Compiled, const Model &M);
 
 /// Convenience overload: compiles \p Test first. Asserts on compile errors

@@ -155,14 +155,44 @@ bool Outcome::satisfies(const Condition &Cond) const {
   return false;
 }
 
-std::string Outcome::key() const {
+namespace {
+
+std::string buildOutcomeKey(const Outcome &O) {
   std::string Out;
-  for (size_t T = 0; T < Regs.size(); ++T)
-    for (const auto &[R, V] : Regs[T])
+  for (size_t T = 0; T < O.Regs.size(); ++T)
+    for (const auto &[R, V] : O.Regs[T])
       Out += strFormat("%zu:r%d=%lld;", T, R, static_cast<long long>(V));
-  for (const auto &[Loc, V] : Memory)
+  for (const auto &[Loc, V] : O.Memory)
     Out += strFormat("%s=%lld;", Loc.c_str(), static_cast<long long>(V));
   return Out;
+}
+
+} // namespace
+
+std::string Outcome::key() const {
+  return KeyCacheEnabled ? keyRef() : buildOutcomeKey(*this);
+}
+
+const std::string &Outcome::keyRef() const {
+  if (!KeyCacheValid) {
+    KeyCache = buildOutcomeKey(*this);
+    KeyCacheValid = true;
+  }
+  return KeyCache;
+}
+
+bool Outcome::operator<(const Outcome &Other) const {
+  // Compare via the caches when both sides have them (the common case in
+  // outcome sets, where stored elements were inserted cache-warm).
+  if (KeyCacheEnabled && Other.KeyCacheEnabled)
+    return keyRef() < Other.keyRef();
+  return key() < Other.key();
+}
+
+bool Outcome::operator==(const Outcome &Other) const {
+  if (KeyCacheEnabled && Other.KeyCacheEnabled)
+    return keyRef() == Other.keyRef();
+  return key() == Other.key();
 }
 
 std::vector<std::string> LitmusTest::locations() const {

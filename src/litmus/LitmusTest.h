@@ -103,8 +103,23 @@ struct Outcome {
   /// distinct final states of a test.
   std::string key() const;
 
-  bool operator<(const Outcome &Other) const { return key() < Other.key(); }
-  bool operator==(const Outcome &Other) const { return key() == Other.key(); }
+  /// Enables memoization of key(). Only call once the outcome is final
+  /// (the litmus compiler enables it on every concretized candidate):
+  /// mutating Regs/Memory afterwards yields a stale key. Set/map
+  /// operations between cached outcomes then compare without rebuilding
+  /// the key string each time.
+  void enableKeyCache() const { KeyCacheEnabled = true; }
+
+  bool operator<(const Outcome &Other) const;
+  bool operator==(const Outcome &Other) const;
+
+private:
+  /// keyRef() fills KeyCache on first use when enabled; copies of the
+  /// outcome (e.g. inside a std::set) carry the warm cache along.
+  const std::string &keyRef() const;
+  mutable std::string KeyCache;
+  mutable bool KeyCacheEnabled = false;
+  mutable bool KeyCacheValid = false;
 };
 
 /// A complete litmus test.

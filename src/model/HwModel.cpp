@@ -6,7 +6,47 @@
 
 #include "model/HwModel.h"
 
+#include <mutex>
+#include <set>
+
 using namespace cats;
+
+namespace {
+
+/// Interns \p Key, returning a stable address equal across instances
+/// constructed from the same key.
+const void *internMemoTag(const std::string &Key) {
+  static std::mutex Lock;
+  static std::set<std::string> Tags;
+  std::lock_guard<std::mutex> Guard(Lock);
+  return &*Tags.insert(Key).first;
+}
+
+/// Everything of HwConfig that feeds ppo/fences/prop (not the axiom
+/// style, not the display name).
+std::string tripleIdentity(const HwConfig &C) {
+  std::string Key;
+  auto Append = [&Key](const std::vector<std::string> &Names) {
+    for (const std::string &N : Names) {
+      Key += N;
+      Key += ',';
+    }
+    Key += '|';
+  };
+  Append(C.FullFences);
+  Append(C.FullFencesWW);
+  Append(C.LightFencesNoWR);
+  Append(C.LightFencesWW);
+  Key += C.Cc0IncludesPoLoc ? "cc0poloc|" : "|";
+  Key += C.PpoUsesRdwDetour ? "rdwdetour" : "";
+  return Key;
+}
+
+} // namespace
+
+HwModel::HwModel(HwConfig ConfigIn)
+    : Config(std::move(ConfigIn)),
+      MemoIdentity(internMemoTag("hw:" + tripleIdentity(Config))) {}
 
 HwConfig HwConfig::power() {
   HwConfig C;
@@ -108,17 +148,20 @@ Relation HwModel::ppo(const Execution &Exe) const {
 }
 
 Relation HwModel::prop(const Execution &Exe) const {
-  Relation Hb = happensBefore(Exe);
-  Relation HbStar = Hb.reflexiveTransitiveClosure();
-  Relation FencesRel = fences(Exe);
-  Relation FFence = fullFence(Exe);
+  // hb*, fences and the full-fence part are shared with the axiom
+  // evaluation via the per-candidate memo (ppo's Fig. 25 fixpoint is the
+  // expensive one: without the memo it would run again here through hb).
+  Relation HbStar = cachedHbStar(Exe);
+  Relation FencesRel = cachedFences(Exe);
+  Relation FFence =
+      Exe.modelMemo(memoTag(), MemoFullFence, [&] { return fullFence(Exe); });
 
   // A-cumulativity: rfe; fences (Fig. 18).
   Relation ACumul = Exe.rfe().compose(FencesRel);
   Relation PropBase = (FencesRel | ACumul).compose(HbStar);
 
   EventSet W = Exe.writes();
-  Relation ComStar = Exe.com().reflexiveTransitiveClosure();
+  Relation ComStar = Exe.comStar();
   Relation PropBaseStar = PropBase.reflexiveTransitiveClosure();
 
   return PropBase.restrict(W, W) |

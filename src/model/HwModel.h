@@ -64,7 +64,7 @@ struct HwConfig {
 /// A model of the Power/ARM family, parameterised by HwConfig.
 class HwModel : public Model {
 public:
-  explicit HwModel(HwConfig Config) : Config(std::move(Config)) {}
+  explicit HwModel(HwConfig Config);
 
   std::string name() const override { return Config.Name; }
   Relation ppo(const Execution &Exe) const override;
@@ -84,8 +84,18 @@ public:
 
   const HwConfig &config() const { return Config; }
 
+  /// Interned per-triple identity: two HwModels whose configs agree on
+  /// everything that feeds ppo/fences/prop (fence classes, cc0, the
+  /// rdw/detour switch — but not the llh axiom style or the display
+  /// name) share one tag, so e.g. ARM llh reuses every relation ARM
+  /// already derived for a candidate.
+  const void *memoTag() const override { return MemoIdentity; }
+
 private:
+  enum : unsigned { MemoFullFence = MemoFirstSubclassSlot };
+
   HwConfig Config;
+  const void *MemoIdentity;
 };
 
 } // namespace cats

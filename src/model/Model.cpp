@@ -38,8 +38,28 @@ bool Verdict::violates(Axiom A) const {
   return false;
 }
 
+Relation Model::cachedPpo(const Execution &Exe) const {
+  return Exe.modelMemo(memoTag(), MemoPpo, [&] { return ppo(Exe); });
+}
+
+Relation Model::cachedFences(const Execution &Exe) const {
+  return Exe.modelMemo(memoTag(), MemoFences, [&] { return fences(Exe); });
+}
+
+Relation Model::cachedHappensBefore(const Execution &Exe) const {
+  return Exe.modelMemo(memoTag(), MemoHb, [&] {
+    return cachedPpo(Exe) | cachedFences(Exe) | Exe.rfe();
+  });
+}
+
+Relation Model::cachedHbStar(const Execution &Exe) const {
+  return Exe.modelMemo(memoTag(), MemoHbStar, [&] {
+    return cachedHappensBefore(Exe).reflexiveTransitiveClosure();
+  });
+}
+
 Relation Model::happensBefore(const Execution &Exe) const {
-  return ppo(Exe) | fences(Exe) | Exe.rfe();
+  return cachedHappensBefore(Exe);
 }
 
 Verdict Model::check(const Execution &Exe) const {
@@ -52,22 +72,30 @@ Verdict Model::check(const Execution &Exe) const {
   };
 
   // SC PER LOCATION: acyclic(po-loc | com), with the llh weakening removing
-  // read-read pairs from po-loc (Table VII).
-  Relation PoLoc = Exe.poLoc();
-  if (Style.AllowLoadLoadHazard)
-    PoLoc = PoLoc - PoLoc.restrict(Exe.reads(), Exe.reads());
-  if (!(PoLoc | Exe.com()).isAcyclic())
+  // read-read pairs from po-loc (Table VII). The check is independent of
+  // the model (up to the llh bit), so its closure is memoized under a
+  // tag shared by every model instance.
+  static const char UniprocTag = 0, UniprocLlhTag = 0;
+  Relation PoLocComTc = Exe.modelMemo(
+      Style.AllowLoadLoadHazard ? &UniprocLlhTag : &UniprocTag, 0, [&] {
+        Relation PoLoc = Exe.poLoc();
+        if (Style.AllowLoadLoadHazard)
+          PoLoc = PoLoc - PoLoc.restrict(Exe.reads(), Exe.reads());
+        return (PoLoc | Exe.com()).transitiveClosure();
+      });
+  if (!PoLocComTc.isIrreflexive())
     Fail(Axiom::ScPerLocation);
 
-  Relation Hb = happensBefore(Exe);
+  Relation Hb = cachedHappensBefore(Exe);
 
   // NO THIN AIR: acyclic(hb).
   if (!Style.DisableNoThinAir && !Hb.isAcyclic())
     Fail(Axiom::NoThinAir);
 
   // OBSERVATION: irreflexive(fre; prop; hb*).
-  Relation Prop = prop(Exe);
-  Relation HbStar = Hb.reflexiveTransitiveClosure();
+  Relation Prop =
+      Exe.modelMemo(memoTag(), MemoProp, [&] { return prop(Exe); });
+  Relation HbStar = cachedHbStar(Exe);
   if (!Exe.fre().compose(Prop).compose(HbStar).isIrreflexive())
     Fail(Axiom::Observation);
 

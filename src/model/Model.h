@@ -91,6 +91,13 @@ public:
   /// Axiom weakenings for this instance.
   virtual AxiomStyle style() const { return {}; }
 
+  /// Identity under which this model's per-candidate memo entries are
+  /// stored. Models whose (ppo, fences, prop) triples are definitionally
+  /// identical may return one shared tag so the relations are derived
+  /// once for the whole group — e.g. ARM and ARM llh, which differ only
+  /// in axiom style. Defaults to the instance address (no sharing).
+  virtual const void *memoTag() const { return this; }
+
   /// happens-before: ppo | fences | rfe.
   Relation happensBefore(const Execution &Exe) const;
 
@@ -99,6 +106,27 @@ public:
 
   /// True when \p Exe passes every axiom.
   bool allows(const Execution &Exe) const { return check(Exe).Allowed; }
+
+protected:
+  /// Memoized wrappers around the architecture functions, shared by the
+  /// axiom evaluation and the prop implementations so each relation is
+  /// derived once per candidate (when the execution's derived cache is
+  /// on; pass-through otherwise). Subclasses adding their own memoized
+  /// relations must use slots >= MemoFirstSubclassSlot.
+  Relation cachedPpo(const Execution &Exe) const;
+  Relation cachedFences(const Execution &Exe) const;
+  Relation cachedHappensBefore(const Execution &Exe) const;
+  /// Reflexive-transitive closure of happens-before.
+  Relation cachedHbStar(const Execution &Exe) const;
+
+  enum : unsigned {
+    MemoPpo = 0,
+    MemoFences,
+    MemoHb,
+    MemoHbStar,
+    MemoProp,
+    MemoFirstSubclassSlot
+  };
 };
 
 } // namespace cats

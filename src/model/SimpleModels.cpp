@@ -19,7 +19,7 @@ Relation ScModel::fences(const Execution &Exe) const {
 }
 
 Relation ScModel::prop(const Execution &Exe) const {
-  return ppo(Exe) | fences(Exe) | Exe.Rf | Exe.fr();
+  return cachedPpo(Exe) | cachedFences(Exe) | Exe.Rf | Exe.fr();
 }
 
 //===----------------------------------------------------------------------===//
@@ -36,7 +36,7 @@ Relation TsoModel::fences(const Execution &Exe) const {
 }
 
 Relation TsoModel::prop(const Execution &Exe) const {
-  return ppo(Exe) | fences(Exe) | Exe.rfe() | Exe.fr();
+  return cachedPpo(Exe) | cachedFences(Exe) | Exe.rfe() | Exe.fr();
 }
 
 //===----------------------------------------------------------------------===//
@@ -74,7 +74,7 @@ Relation PsoModel::fences(const Execution &Exe) const {
 }
 
 Relation PsoModel::prop(const Execution &Exe) const {
-  return ppo(Exe) | fences(Exe) | Exe.rfe() | Exe.fr();
+  return cachedPpo(Exe) | cachedFences(Exe) | Exe.rfe() | Exe.fr();
 }
 
 //===----------------------------------------------------------------------===//
@@ -92,7 +92,7 @@ Relation RmoModel::fences(const Execution &Exe) const {
 }
 
 Relation RmoModel::prop(const Execution &Exe) const {
-  return ppo(Exe) | fences(Exe) | Exe.rfe() | Exe.fr();
+  return cachedPpo(Exe) | cachedFences(Exe) | Exe.rfe() | Exe.fr();
 }
 
 //===----------------------------------------------------------------------===//

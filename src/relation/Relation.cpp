@@ -164,10 +164,13 @@ Relation Relation::inverse() const {
 Relation Relation::transitiveClosure() const {
   // Warshall with word-parallel row unions: if (I, K) then row(I) |= row(K).
   Relation Out = *this;
+  // Buffer for the via row, hoisted out of the loop (heap only for
+  // universes too wide for the inline capacity).
+  WordStorage ViaCopy(WordsPerRow);
   for (EventId Via = 0; Via < Size; ++Via) {
-    const uint64_t *ViaRow = Out.row(Via);
     // Copy the via row since row(I) may alias it when I == Via.
-    std::vector<uint64_t> ViaCopy(ViaRow, ViaRow + WordsPerRow);
+    std::memcpy(ViaCopy.data(), Out.row(Via),
+                WordsPerRow * sizeof(uint64_t));
     for (EventId From = 0; From < Size; ++From) {
       if (!Out.test(From, Via))
         continue;

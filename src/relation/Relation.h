@@ -21,9 +21,12 @@
 #ifndef CATS_RELATION_RELATION_H
 #define CATS_RELATION_RELATION_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +36,83 @@ namespace cats {
 /// Index of an event inside one Execution. Dense, starting at 0.
 using EventId = uint32_t;
 
+/// Inline-first storage for the bitset words of EventSet and Relation.
+/// Litmus-sized universes — the overwhelmingly common case — fit in the
+/// inline buffer, so the temporaries churned out by the relation algebra
+/// (every |, ;, closure, restrict creates one) never touch the heap.
+/// Larger universes (e.g. multi-event blow-ups) fall back to a heap
+/// buffer transparently.
+class WordStorage {
+public:
+  /// Words stored inline: 32 x 8 = 256 bytes, covering relations over up
+  /// to 32 events at one word per row.
+  static constexpr size_t InlineCapacity = 32;
+
+  WordStorage() = default;
+  /// Creates \p CountIn zeroed words.
+  explicit WordStorage(size_t CountIn) { resizeZero(CountIn); }
+  WordStorage(const WordStorage &Other) { copyFrom(Other); }
+  WordStorage(WordStorage &&Other) noexcept { moveFrom(std::move(Other)); }
+  WordStorage &operator=(const WordStorage &Other) {
+    if (this != &Other) {
+      Heap.reset();
+      copyFrom(Other);
+    }
+    return *this;
+  }
+  WordStorage &operator=(WordStorage &&Other) noexcept {
+    if (this != &Other) {
+      Heap.reset();
+      moveFrom(std::move(Other));
+    }
+    return *this;
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  uint64_t *data() { return Heap ? Heap.get() : Inline; }
+  const uint64_t *data() const { return Heap ? Heap.get() : Inline; }
+  uint64_t &operator[](size_t I) { return data()[I]; }
+  uint64_t operator[](size_t I) const { return data()[I]; }
+  uint64_t &back() { return data()[Count - 1]; }
+  const uint64_t *begin() const { return data(); }
+  const uint64_t *end() const { return data() + Count; }
+
+  bool operator==(const WordStorage &Other) const {
+    return Count == Other.Count &&
+           std::memcmp(data(), Other.data(), Count * sizeof(uint64_t)) == 0;
+  }
+  bool operator!=(const WordStorage &Other) const {
+    return !(*this == Other);
+  }
+
+private:
+  void resizeZero(size_t N) {
+    Count = N;
+    if (N > InlineCapacity)
+      Heap.reset(new uint64_t[N]);
+    std::fill_n(data(), N, uint64_t{0});
+  }
+  void copyFrom(const WordStorage &Other) {
+    Count = Other.Count;
+    if (Count > InlineCapacity)
+      Heap.reset(new uint64_t[Count]);
+    std::memcpy(data(), Other.data(), Count * sizeof(uint64_t));
+  }
+  void moveFrom(WordStorage &&Other) {
+    Count = Other.Count;
+    if (Other.Heap)
+      Heap = std::move(Other.Heap);
+    else
+      std::memcpy(Inline, Other.Inline, Count * sizeof(uint64_t));
+    Other.Count = 0;
+  }
+
+  size_t Count = 0;
+  uint64_t Inline[InlineCapacity];
+  std::unique_ptr<uint64_t[]> Heap;
+};
+
 /// A set of event ids, as a bitset of fixed universe size.
 class EventSet {
 public:
@@ -40,7 +120,7 @@ public:
 
   /// Creates an empty set over a universe of \p UniverseSize ids.
   explicit EventSet(unsigned UniverseSize)
-      : Universe(UniverseSize), Words((UniverseSize + 63) / 64, 0) {}
+      : Universe(UniverseSize), Words((UniverseSize + 63) / 64) {}
 
   /// Number of ids in the universe (not the cardinality).
   unsigned universeSize() const { return Universe; }
@@ -97,7 +177,7 @@ public:
 private:
   friend class Relation;
   unsigned Universe;
-  std::vector<uint64_t> Words;
+  WordStorage Words;
 };
 
 /// A binary relation over event ids 0..N-1 as an adjacency bitset.
@@ -110,7 +190,7 @@ public:
   /// Creates the empty relation over \p NumEvents ids.
   explicit Relation(unsigned NumEvents)
       : Size(NumEvents), WordsPerRow((NumEvents + 63) / 64),
-        Bits(static_cast<size_t>(Size) * WordsPerRow, 0) {}
+        Bits(static_cast<size_t>(Size) * WordsPerRow) {}
 
   /// Universe size.
   unsigned size() const { return Size; }
@@ -221,7 +301,7 @@ private:
 
   unsigned Size;
   unsigned WordsPerRow;
-  std::vector<uint64_t> Bits;
+  WordStorage Bits;
 };
 
 } // namespace cats

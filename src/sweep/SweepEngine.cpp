@@ -1,0 +1,155 @@
+//===- SweepEngine.cpp - Parallel batch litmus sweeps ---------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sweep/SweepEngine.h"
+
+#include "litmus/Compiler.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace cats;
+
+bool SweepReport::allOk() const {
+  for (const SweepTestResult &T : Tests)
+    if (!T.Error.empty())
+      return false;
+  return true;
+}
+
+SweepEngine::SweepEngine(SweepOptions Opts) : Workers(Opts.Jobs) {
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw == 0)
+    Hw = 1;
+  // Sweep jobs are CPU-bound, so oversubscribing cores only adds context
+  // switching; clamp to the hardware (and default to it).
+  if (Workers == 0 || Workers > Hw)
+    Workers = Hw;
+}
+
+namespace {
+
+SweepTestResult runOneJob(const SweepJob &Job) {
+  SweepTestResult Out;
+  Out.TestName = Job.Test.Name;
+  const auto Start = std::chrono::steady_clock::now();
+
+  std::string Invalid = Job.Test.validate();
+  if (!Invalid.empty()) {
+    Out.Error = Invalid;
+  } else {
+    auto Compiled = CompiledTest::compile(Job.Test);
+    if (!Compiled)
+      Out.Error = Compiled.message();
+    else
+      Out.Result = simulateAll(*Compiled, Job.Models);
+  }
+
+  Out.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Out;
+}
+
+} // namespace
+
+SweepReport SweepEngine::run(const std::vector<SweepJob> &Jobs) const {
+  SweepReport Report;
+  Report.Tests.resize(Jobs.size());
+  const unsigned Used =
+      Jobs.empty()
+          ? 1u
+          : std::min<unsigned>(Workers, static_cast<unsigned>(Jobs.size()));
+  Report.Jobs = Used;
+
+  const auto Start = std::chrono::steady_clock::now();
+
+  // Work-stealing over a shared index: each worker claims the next
+  // unclaimed job and writes into its pre-sized slot, so the result order
+  // is the submission order regardless of scheduling.
+  std::atomic<size_t> Next{0};
+  auto Work = [&]() {
+    while (true) {
+      const size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Jobs.size())
+        return;
+      Report.Tests[I] = runOneJob(Jobs[I]);
+    }
+  };
+
+  if (Used <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Used);
+    for (unsigned W = 0; W < Used; ++W)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  Report.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Report;
+}
+
+std::vector<SweepJob> cats::makeJobs(const std::vector<LitmusTest> &Tests,
+                                     const std::vector<const Model *> &Models) {
+  std::vector<SweepJob> Jobs;
+  Jobs.reserve(Tests.size());
+  for (const LitmusTest &Test : Tests)
+    Jobs.push_back(SweepJob{Test, Models});
+  return Jobs;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON rendering (cats-sweep-report/1, see docs/sweep.md)
+//===----------------------------------------------------------------------===//
+
+JsonValue cats::sweepReportToJson(const SweepReport &Report) {
+  JsonValue Root = JsonValue::object();
+  Root.set("schema", "cats-sweep-report/1");
+  Root.set("jobs", Report.Jobs);
+  Root.set("wall_seconds", Report.WallSeconds);
+
+  JsonValue Tests = JsonValue::array();
+  for (const SweepTestResult &T : Report.Tests) {
+    JsonValue Entry = JsonValue::object();
+    Entry.set("name", T.TestName);
+    Entry.set("wall_seconds", T.WallSeconds);
+    if (!T.Error.empty()) {
+      Entry.set("error", T.Error);
+      Tests.push(std::move(Entry));
+      continue;
+    }
+    Entry.set("candidates_total", T.Result.CandidatesTotal);
+    Entry.set("candidates_consistent", T.Result.CandidatesConsistent);
+
+    JsonValue States = JsonValue::array();
+    for (const Outcome &O : T.Result.ConsistentOutcomes)
+      States.push(O.key());
+    Entry.set("consistent_states", std::move(States));
+
+    JsonValue Models = JsonValue::array();
+    for (const SimulationResult &R : T.Result.PerModel) {
+      JsonValue M = JsonValue::object();
+      M.set("model", R.ModelName);
+      M.set("verdict", R.verdict());
+      M.set("candidates_allowed", R.CandidatesAllowed);
+      JsonValue Allowed = JsonValue::array();
+      for (const Outcome &O : R.AllowedOutcomes)
+        Allowed.push(O.key());
+      M.set("allowed_states", std::move(Allowed));
+      Models.push(std::move(M));
+    }
+    Entry.set("models", std::move(Models));
+    Tests.push(std::move(Entry));
+  }
+  Root.set("tests", std::move(Tests));
+  return Root;
+}

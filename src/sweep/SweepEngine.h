@@ -1,0 +1,100 @@
+//===- SweepEngine.h - Parallel batch litmus sweeps -----------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign driver behind the paper's tables: run many litmus tests
+/// against many models at once. Each job is one test plus a model set; the
+/// engine compiles the test once, enumerates its candidate space once, and
+/// checks every model of the set against each candidate in the same pass
+/// (herd/Simulator's MultiModelChecker), instead of one full enumeration
+/// per model as the legacy per-model simulate() loop does.
+///
+/// Jobs are distributed over a pool of std::thread workers. Results land in
+/// a slot per job, so the report order equals submission order and is
+/// byte-for-byte deterministic for any worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_SWEEP_SWEEPENGINE_H
+#define CATS_SWEEP_SWEEPENGINE_H
+
+#include "herd/Simulator.h"
+#include "litmus/LitmusTest.h"
+#include "model/Model.h"
+#include "sweep/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// One unit of sweep work: a litmus test and the models to judge it under.
+/// Model instances must be stateless (every registry model is) and outlive
+/// the sweep.
+struct SweepJob {
+  LitmusTest Test;
+  std::vector<const Model *> Models;
+};
+
+/// The outcome of one job.
+struct SweepTestResult {
+  std::string TestName;
+  /// Non-empty when the test failed to validate/compile; Result is then
+  /// empty and the sweep's exit status reflects the failure.
+  std::string Error;
+  MultiSimulationResult Result;
+  /// Wall time of this job on its worker, seconds.
+  double WallSeconds = 0;
+};
+
+/// Engine configuration.
+struct SweepOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency(). Values
+  /// above the hardware concurrency are clamped to it: sweep jobs are
+  /// CPU-bound, so oversubscription only adds context switching.
+  unsigned Jobs = 0;
+};
+
+/// A completed sweep: per-job results in submission order.
+struct SweepReport {
+  std::vector<SweepTestResult> Tests;
+  /// Wall time of the whole sweep, seconds.
+  double WallSeconds = 0;
+  /// Worker threads actually used.
+  unsigned Jobs = 1;
+
+  /// True when no job carries an error.
+  bool allOk() const;
+};
+
+/// Runs litmus sweeps over a worker pool.
+class SweepEngine {
+public:
+  explicit SweepEngine(SweepOptions Opts = {});
+
+  /// Worker threads this engine will use.
+  unsigned workerCount() const { return Workers; }
+
+  /// Runs every job and returns the report. Thread-safe for concurrent
+  /// calls (the engine holds no mutable state).
+  SweepReport run(const std::vector<SweepJob> &Jobs) const;
+
+private:
+  unsigned Workers;
+};
+
+/// Convenience: one job per test, all judged under the same \p Models.
+std::vector<SweepJob> makeJobs(const std::vector<LitmusTest> &Tests,
+                               const std::vector<const Model *> &Models);
+
+/// Serializes \p Report to the cats-sweep-report/1 JSON schema
+/// (docs/sweep.md documents every field). The rendering is deterministic:
+/// two runs of the same sweep differ only in the wall-time fields.
+JsonValue sweepReportToJson(const SweepReport &Report);
+
+} // namespace cats
+
+#endif // CATS_SWEEP_SWEEPENGINE_H

@@ -296,8 +296,11 @@ TEST(CatVariants, NoDetourWeakerThanPower) {
       if (!Cand.Consistent)
         return true;
       // Removing ppo edges only weakens: Power-allowed => variant-allowed.
-      if (Power.allows(Cand.Exe))
+      // (Braces: EXPECT_TRUE expands to an if/else and would otherwise
+      // bind to the outer if under -Wdangling-else.)
+      if (Power.allows(Cand.Exe)) {
         EXPECT_TRUE(Cat->allows(Cand.Exe)) << Entry.Test.Name;
+      }
       return true;
     });
   }

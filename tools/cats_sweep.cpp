@@ -1,0 +1,239 @@
+//===- cats_sweep.cpp - Parallel litmus campaign runner -------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign CLI over src/sweep: load litmus tests from files,
+/// directories and/or the built-in figure catalogue, run every test against
+/// a model set with one shared candidate enumeration per test, distributed
+/// over a worker pool, and report as a summary table, classic herd text,
+/// and/or a machine-readable JSON report (docs/sweep.md).
+///
+///   cats_sweep                          # built-in catalogue, all models
+///   cats_sweep --jobs 4 litmus/         # a directory of .litmus files
+///   cats_sweep --models SC,TSO mp.litmus --herd
+///   cats_sweep --catalogue --json report.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Catalog.h"
+#include "litmus/Parser.h"
+#include "model/Registry.h"
+#include "support/StringUtils.h"
+#include "sweep/SweepEngine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace cats;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [<file.litmus>|<dir>]...\n"
+      "\n"
+      "Runs a parallel shared-enumeration sweep: every test is compiled\n"
+      "and its candidate space enumerated once, with all selected models\n"
+      "checked against each candidate in the same pass.\n"
+      "\n"
+      "Inputs: .litmus files, directories (scanned for *.litmus), and/or\n"
+      "the built-in figure catalogue. With no input, the catalogue runs.\n"
+      "\n"
+      "options:\n"
+      "  --jobs N        worker threads (default: hardware concurrency)\n"
+      "  --models A,B,C  comma-separated model names (default: all).\n"
+      "                  Known: SC, TSO, PSO, RMO, C++RA, Power, ARM,\n"
+      "                  Power-ARM, ARM llh\n"
+      "  --catalogue     add the built-in figure catalogue to the inputs\n"
+      "  --json FILE     write the cats-sweep-report/1 JSON report\n"
+      "  --herd          print the classic herd block per test x model\n"
+      "  --quiet         suppress the summary table\n"
+      "  --help          this message\n",
+      Argv0);
+  return 2;
+}
+
+bool collectPath(const std::string &Path, std::vector<std::string> &Files) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  if (fs::is_directory(Path, Ec)) {
+    std::vector<std::string> Found;
+    for (const auto &Entry : fs::directory_iterator(Path, Ec))
+      if (Entry.path().extension() == ".litmus")
+        Found.push_back(Entry.path().string());
+    std::sort(Found.begin(), Found.end());
+    Files.insert(Files.end(), Found.begin(), Found.end());
+    return true;
+  }
+  if (fs::is_regular_file(Path, Ec)) {
+    Files.push_back(Path);
+    return true;
+  }
+  std::fprintf(stderr, "cats_sweep: no such file or directory: %s\n",
+               Path.c_str());
+  return false;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Jobs = 0;
+  bool UseCatalogue = false, Herd = false, Quiet = false;
+  std::string JsonPath;
+  std::vector<std::string> ModelNames;
+  std::vector<std::string> Paths;
+
+  for (int I = 1; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    auto NeedsValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "cats_sweep: %s needs a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (Arg == "--help" || Arg == "-h")
+      return usage(argv[0]);
+    if (Arg == "--jobs") {
+      const char *V = NeedsValue("--jobs");
+      if (!V)
+        return 2;
+      char *End = nullptr;
+      long N = std::strtol(V, &End, 10);
+      if (*End || N < 1) {
+        std::fprintf(stderr, "cats_sweep: bad --jobs value '%s'\n", V);
+        return 2;
+      }
+      Jobs = static_cast<unsigned>(N);
+    } else if (Arg == "--models") {
+      const char *V = NeedsValue("--models");
+      if (!V)
+        return 2;
+      for (const std::string &Name : splitString(V, ','))
+        if (!trimString(Name).empty())
+          ModelNames.push_back(trimString(Name));
+    } else if (Arg == "--catalogue" || Arg == "--catalog") {
+      UseCatalogue = true;
+    } else if (Arg == "--json") {
+      const char *V = NeedsValue("--json");
+      if (!V)
+        return 2;
+      JsonPath = V;
+    } else if (Arg == "--herd") {
+      Herd = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "cats_sweep: unknown option %s\n", Arg.c_str());
+      return usage(argv[0]);
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+
+  // Resolve the model set.
+  std::vector<const Model *> Models;
+  if (ModelNames.empty()) {
+    Models = allModels();
+  } else {
+    for (const std::string &Name : ModelNames) {
+      const Model *M = modelByName(Name);
+      if (!M) {
+        std::fprintf(stderr, "cats_sweep: unknown model '%s'\n",
+                     Name.c_str());
+        return 2;
+      }
+      Models.push_back(M);
+    }
+  }
+
+  // Gather the tests: files first (sorted per directory), catalogue after.
+  if (Paths.empty() && !UseCatalogue)
+    UseCatalogue = true;
+  std::vector<std::string> Files;
+  for (const std::string &Path : Paths)
+    if (!collectPath(Path, Files))
+      return 2;
+
+  std::vector<LitmusTest> Tests;
+  bool LoadFailed = false;
+  for (const std::string &File : Files) {
+    auto Test = parseLitmusFile(File);
+    if (!Test) {
+      std::fprintf(stderr, "cats_sweep: %s: %s\n", File.c_str(),
+                   Test.message().c_str());
+      LoadFailed = true;
+      continue;
+    }
+    Tests.push_back(Test.take());
+  }
+  if (UseCatalogue)
+    for (const CatalogEntry &Entry : figureCatalog())
+      Tests.push_back(Entry.Test);
+  if (Tests.empty()) {
+    std::fprintf(stderr, "cats_sweep: no tests to run\n");
+    return 2;
+  }
+
+  // Run.
+  SweepEngine Engine(SweepOptions{Jobs});
+  SweepReport Report = Engine.run(makeJobs(Tests, Models));
+
+  // Summary table: one row per test, one verdict column per model.
+  if (!Quiet) {
+    std::printf("%-34s %10s %10s", "test", "cands", "consist");
+    for (const Model *M : Models)
+      std::printf(" %-10s", M->name().c_str());
+    std::printf("\n");
+    for (const SweepTestResult &T : Report.Tests) {
+      std::printf("%-34s", T.TestName.c_str());
+      if (!T.Error.empty()) {
+        std::printf("  ERROR: %s\n", T.Error.c_str());
+        continue;
+      }
+      std::printf(" %10llu %10llu", T.Result.CandidatesTotal,
+                  T.Result.CandidatesConsistent);
+      for (const SimulationResult &R : T.Result.PerModel)
+        std::printf(" %-10s", R.verdict());
+      std::printf("\n");
+    }
+    std::printf("\n%zu tests x %zu models, %u worker(s), %.3fs\n",
+                Report.Tests.size(), Models.size(), Report.Jobs,
+                Report.WallSeconds);
+  }
+
+  // Classic herd blocks.
+  if (Herd) {
+    for (size_t I = 0; I < Report.Tests.size(); ++I) {
+      const SweepTestResult &T = Report.Tests[I];
+      if (!T.Error.empty())
+        continue;
+      for (const SimulationResult &R : T.Result.PerModel)
+        std::printf("\n%s", herdStyleReport(R, Tests[I].Final).c_str());
+    }
+  }
+
+  // JSON report.
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "cats_sweep: cannot write %s\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    Out << sweepReportToJson(Report).dump();
+    if (!Quiet)
+      std::printf("wrote %s\n", JsonPath.c_str());
+  }
+
+  return (LoadFailed || !Report.allOk()) ? 1 : 0;
+}

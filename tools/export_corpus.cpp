@@ -1,11 +1,11 @@
-//===- export_corpus.cpp - Regenerate the .litmus corpus ----------------------===//
+//===- export_corpus.cpp - Regenerate or verify the .litmus corpus ------------===//
 //
 // Part of the cats project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Writes every figure-catalogue entry to <output-dir>/<name>.litmus in the
+/// Writes every figure-catalogue entry to <dir>/<name>.litmus in the
 /// textual format understood by parseLitmusFile. tests/corpus.cpp asserts the
 /// committed litmus/ directory stays in sync with the catalogue; rerun
 ///
@@ -13,22 +13,102 @@
 ///
 /// from the repository root after changing src/litmus/Catalog.cpp.
 ///
+/// With --check, nothing is written: the tool diffs the directory against
+/// the catalogue (missing, stale and orphaned .litmus files) and exits
+/// non-zero on any mismatch. CI uses this for its corpus-sync gate so the
+/// checkout is never mutated.
+///
 //===----------------------------------------------------------------------===//
 
 #include "litmus/Catalog.h"
 #include "litmus/Parser.h"
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
 
 using namespace cats;
 
-int main(int argc, char **argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+namespace {
+
+/// Reads a whole file; empty optional-style flag via OK.
+std::string readFile(const std::string &Path, bool &Ok) {
+  std::ifstream In(Path);
+  if (!In) {
+    Ok = false;
+    return "";
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Ok = true;
+  return Buf.str();
+}
+
+int checkCorpus(const std::string &Dir) {
+  unsigned Problems = 0;
+  std::set<std::string> Expected;
+  for (const CatalogEntry &Entry : figureCatalog()) {
+    const std::string Path = Dir + "/" + Entry.Test.Name + ".litmus";
+    Expected.insert(Entry.Test.Name + ".litmus");
+    bool Ok = false;
+    const std::string OnDisk = readFile(Path, Ok);
+    if (!Ok) {
+      std::fprintf(stderr, "MISSING %s\n", Path.c_str());
+      ++Problems;
+      continue;
+    }
+    if (OnDisk != Entry.Test.toString()) {
+      std::fprintf(stderr, "STALE   %s (differs from the catalogue)\n",
+                   Path.c_str());
+      ++Problems;
+    }
+  }
+  // Files with no catalogue twin.
+  std::error_code Ec;
+  for (const auto &DirEntry : std::filesystem::directory_iterator(Dir, Ec)) {
+    if (DirEntry.path().extension() != ".litmus")
+      continue;
+    if (!Expected.count(DirEntry.path().filename().string())) {
+      std::fprintf(stderr, "ORPHAN  %s (no catalogue entry)\n",
+                   DirEntry.path().string().c_str());
+      ++Problems;
+    }
+  }
+  if (Problems) {
+    std::fprintf(stderr,
+                 "%u problem(s); rerun `export_corpus %s` to resync\n",
+                 Problems, Dir.c_str());
     return 1;
   }
-  const std::string OutDir = argv[1];
+  std::printf("corpus in sync: %zu files match the catalogue\n",
+              figureCatalog().size());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Check = false;
+  const char *Dir = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--check") == 0)
+      Check = true;
+    else if (!Dir)
+      Dir = argv[I];
+    else
+      Dir = ""; // too many positionals; trip the usage error below
+  }
+  if (!Dir || !*Dir) {
+    std::fprintf(stderr, "usage: %s [--check] <dir>\n", argv[0]);
+    return 2;
+  }
+  if (Check)
+    return checkCorpus(Dir);
+
   unsigned Written = 0;
   for (const CatalogEntry &Entry : figureCatalog()) {
     std::string Text = Entry.Test.toString();
@@ -39,7 +119,7 @@ int main(int argc, char **argv) {
                    Entry.Test.Name.c_str(), Reparsed.message().c_str());
       return 1;
     }
-    std::string Path = OutDir + "/" + Entry.Test.Name + ".litmus";
+    std::string Path = std::string(Dir) + "/" + Entry.Test.Name + ".litmus";
     std::ofstream Out(Path);
     if (!Out) {
       std::fprintf(stderr, "cannot write %s\n", Path.c_str());
@@ -48,6 +128,6 @@ int main(int argc, char **argv) {
     Out << Text;
     ++Written;
   }
-  std::printf("wrote %u litmus files to %s\n", Written, OutDir.c_str());
+  std::printf("wrote %u litmus files to %s\n", Written, Dir);
   return 0;
 }
