@@ -95,10 +95,6 @@ std::string mechSuffix(const DiyEdge &E, Arch Target) {
   return "?";
 }
 
-const char *controlFenceFor(Arch Target) {
-  return Target == Arch::ARM ? fence::Isb : fence::ISync;
-}
-
 } // namespace
 
 std::string cats::cycleName(const DiyCycle &Cycle) {
@@ -242,11 +238,22 @@ Expected<LitmusTest> cats::synthesizeTest(const DiyCycle &Cycle,
         return Fail::error("diy: dependencies must start at a read");
       if (Cur.Mech == PoMech::Data && Cur.Dst != Dir::W)
         return Fail::error("diy: data dependencies must target a write");
-      if (Cur.Mech == PoMech::Fence &&
-          !archHasFence(Target, Cur.FenceName))
-        return Fail::error(strFormat("diy: fence '%s' not available on %s",
-                                     Cur.FenceName.c_str(),
-                                     archName(Target).c_str()));
+      if (Cur.Mech == PoMech::Fence) {
+        if (Cur.FenceName.empty())
+          return Fail::error(
+              strFormat("diy: edge %zu has a fence mechanism but no fence "
+                        "name", I));
+        if (!archHasFence(Target, Cur.FenceName))
+          return Fail::error(strFormat(
+              "diy: fence '%s' is not in the %s fence vocabulary",
+              Cur.FenceName.c_str(), archName(Target).c_str()));
+      }
+      if (Cur.Mech == PoMech::CtrlCfence &&
+          !archHasFence(Target, archControlFence(Target)))
+        return Fail::error(strFormat(
+            "diy: ctrl+cfence needs the control fence '%s', which is not "
+            "in the %s fence vocabulary",
+            archControlFence(Target), archName(Target).c_str()));
     } else if (isExternalEdge(Cur.Kind)) {
       ++NumExternal;
     }
@@ -414,7 +421,7 @@ Expected<LitmusTest> cats::synthesizeTest(const DiyCycle &Cycle,
         break;
       case PoMech::CtrlCfence:
         Code.push_back(Instruction::cmpBranch(SrcReg));
-        Code.push_back(Instruction::fenceNamed(controlFenceFor(Target)));
+        Code.push_back(Instruction::fenceNamed(archControlFence(Target)));
         break;
       case PoMech::Addr:
       case PoMech::Data:

@@ -103,6 +103,10 @@ bool cats::archHasFence(Arch A, const std::string &FenceName) {
   return false;
 }
 
+const char *cats::archControlFence(Arch A) {
+  return A == Arch::ARM ? fence::Isb : fence::ISync;
+}
+
 std::string ConditionAtom::toString() const {
   if (AtomKind == Kind::RegEquals)
     return strFormat("%d:r%d=%lld", Thread, Reg,

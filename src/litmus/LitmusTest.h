@@ -39,6 +39,11 @@ std::string archName(Arch A);
 /// True if fence \p FenceName is available on \p A.
 bool archHasFence(Arch A, const std::string &FenceName);
 
+/// The control fence that completes a ctrl+cfence dependency on \p A
+/// (isb on ARM, isync elsewhere). Whether the architecture actually has
+/// it is a separate archHasFence check.
+const char *archControlFence(Arch A);
+
 /// One conjunct of a final condition.
 struct ConditionAtom {
   enum class Kind : uint8_t {

@@ -1,0 +1,89 @@
+//===- TestFilter.cpp - Regex test selection for campaigns ----------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/TestFilter.h"
+
+#include "litmus/Catalog.h"
+#include "litmus/Parser.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <regex>
+
+using namespace cats;
+
+Expected<std::vector<LitmusTest>>
+cats::filterTestsByName(const std::vector<LitmusTest> &Tests,
+                        const std::string &Pattern) {
+  using Fail = Expected<std::vector<LitmusTest>>;
+  if (Pattern.empty())
+    return Tests;
+  std::regex Re;
+  try {
+    Re = std::regex(Pattern, std::regex::ECMAScript);
+  } catch (const std::regex_error &E) {
+    return Fail::error("bad filter regex '" + Pattern + "': " + E.what());
+  }
+  std::vector<LitmusTest> Out;
+  for (const LitmusTest &Test : Tests)
+    if (std::regex_search(Test.Name, Re))
+      Out.push_back(Test);
+  return Out;
+}
+
+Status cats::collectLitmusFiles(const std::string &Path,
+                                std::vector<std::string> &Files) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  if (fs::is_directory(Path, Ec)) {
+    std::vector<std::string> Found;
+    for (const auto &Entry : fs::directory_iterator(Path, Ec))
+      if (Entry.path().extension() == ".litmus")
+        Found.push_back(Entry.path().string());
+    std::sort(Found.begin(), Found.end());
+    Files.insert(Files.end(), Found.begin(), Found.end());
+    return Status::success();
+  }
+  if (fs::is_regular_file(Path, Ec))
+    Files.push_back(Path);
+  else
+    return Status::error("no such file or directory: " + Path);
+  return Status::success();
+}
+
+Expected<CampaignTests>
+cats::loadCampaignTests(const std::vector<std::string> &Paths,
+                        bool UseCatalogue, const std::string &Filter,
+                        std::vector<LitmusTest> Extra) {
+  using Fail = Expected<CampaignTests>;
+  std::vector<std::string> Files;
+  for (const std::string &Path : Paths) {
+    Status Collected = collectLitmusFiles(Path, Files);
+    if (Collected.failed())
+      return Fail::error(Collected.message());
+  }
+
+  CampaignTests Out;
+  for (const std::string &File : Files) {
+    auto Test = parseLitmusFile(File);
+    if (!Test) {
+      Out.Errors.push_back(File + ": " + Test.message());
+      continue;
+    }
+    Out.Tests.push_back(Test.take());
+  }
+  if (UseCatalogue)
+    for (const CatalogEntry &Entry : figureCatalog())
+      Out.Tests.push_back(Entry.Test);
+  for (LitmusTest &Test : Extra)
+    Out.Tests.push_back(std::move(Test));
+
+  auto Filtered = filterTestsByName(Out.Tests, Filter);
+  if (!Filtered)
+    return Fail::error(Filtered.message());
+  Out.Tests = Filtered.take();
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- TestFilter.h - Regex test selection for campaigns ------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-based test selection shared by the campaign CLIs (cats_sweep
+/// --filter, cats_repair --filter): keep the tests whose name matches an
+/// ECMAScript regular expression (partial match, so "mp" selects every mp
+/// variant and "^mp$" exactly one).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_LITMUS_TESTFILTER_H
+#define CATS_LITMUS_TESTFILTER_H
+
+#include "litmus/LitmusTest.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// Returns the subset of \p Tests whose name matches \p Pattern, in the
+/// original order. Fails with the regex diagnostic on a malformed pattern;
+/// an empty pattern keeps everything.
+Expected<std::vector<LitmusTest>>
+filterTestsByName(const std::vector<LitmusTest> &Tests,
+                  const std::string &Pattern);
+
+/// Expands \p Path into litmus files: a regular file is taken as-is, a
+/// directory contributes its *.litmus entries in sorted order. Appends to
+/// \p Files; fails when the path is neither.
+Status collectLitmusFiles(const std::string &Path,
+                          std::vector<std::string> &Files);
+
+/// The tests a campaign CLI gathered, plus the per-file diagnostics for
+/// inputs that failed to parse (the campaign still runs on the rest, but
+/// the tool should exit nonzero when Errors is non-empty).
+struct CampaignTests {
+  std::vector<LitmusTest> Tests;
+  std::vector<std::string> Errors;
+};
+
+/// The shared input pipeline of cats_sweep and cats_repair: expand
+/// \p Paths into .litmus files (sorted per directory) and parse them,
+/// append the built-in figure catalogue when \p UseCatalogue and then any
+/// \p Extra tests (e.g. a diy battery), and keep the names matching
+/// \p Filter. A bad path or a malformed regex fails the whole call;
+/// per-file parse failures only land in CampaignTests::Errors.
+Expected<CampaignTests> loadCampaignTests(
+    const std::vector<std::string> &Paths, bool UseCatalogue,
+    const std::string &Filter, std::vector<LitmusTest> Extra = {});
+
+} // namespace cats
+
+#endif // CATS_LITMUS_TESTFILTER_H

@@ -48,6 +48,13 @@ HwModel::HwModel(HwConfig ConfigIn)
     : Config(std::move(ConfigIn)),
       MemoIdentity(internMemoTag("hw:" + tripleIdentity(Config))) {}
 
+unsigned HwConfig::fenceCost(const std::string &FenceName) const {
+  for (const auto &[Name, Cost] : FenceCosts)
+    if (Name == FenceName)
+      return Cost;
+  return 0;
+}
+
 HwConfig HwConfig::power() {
   HwConfig C;
   C.Name = "Power";
@@ -55,6 +62,10 @@ HwConfig HwConfig::power() {
   C.LightFencesNoWR = {fence::LwSync};
   C.LightFencesWW = {fence::Eieio};
   C.Cc0IncludesPoLoc = true;
+  C.FenceCosts = {{fence::Sync, 6},
+                  {fence::LwSync, 3},
+                  {fence::Eieio, 2},
+                  {fence::ISync, 1}};
   return C;
 }
 
@@ -64,6 +75,11 @@ HwConfig HwConfig::arm() {
   C.FullFences = {fence::Dmb, fence::Dsb};
   C.FullFencesWW = {fence::DmbSt, fence::DsbSt};
   C.Cc0IncludesPoLoc = false;
+  C.FenceCosts = {{fence::Dmb, 6},
+                  {fence::Dsb, 7},
+                  {fence::DmbSt, 3},
+                  {fence::DsbSt, 4},
+                  {fence::Isb, 1}};
   return C;
 }
 

@@ -51,6 +51,15 @@ struct HwConfig {
   bool PpoUsesRdwDetour = true;
   /// SC PER LOCATION weakening for chips with read-after-read hazards.
   bool AllowLoadLoadHazard = false;
+  /// Relative insertion costs of the architecture's fences, in the spirit
+  /// of the paper's restoration discussion (Sec. 7): lightweight fences
+  /// are cheaper than full ones (lwsync < sync, dmb.st < dmb), control
+  /// fences cheapest. The repair subsystem ranks candidate insertions by
+  /// these; fences absent from the table fall back to repair defaults.
+  std::vector<std::pair<std::string, unsigned>> FenceCosts;
+
+  /// The insertion cost of \p FenceName; 0 when not in the table.
+  unsigned fenceCost(const std::string &FenceName) const;
 
   static HwConfig power();
   /// The proposed ARM model (cc0 without po-loc).

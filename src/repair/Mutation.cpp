@@ -1,0 +1,373 @@
+//===- Mutation.cpp - Candidate fence/dependency insertions ---------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "repair/Mutation.h"
+
+#include "event/Execution.h"
+#include "model/HwModel.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cats;
+
+std::string RepairSite::toString() const {
+  if (Gap == 0)
+    return strFormat("P%d", Thread);
+  return strFormat("P%d.%u", Thread, Gap);
+}
+
+const char *cats::repairMechName(RepairMech M) {
+  switch (M) {
+  case RepairMech::Fence:
+    return "fence";
+  case RepairMech::Addr:
+    return "addr";
+  case RepairMech::Data:
+    return "data";
+  case RepairMech::Ctrl:
+    return "ctrl";
+  case RepairMech::CtrlCfence:
+    return "ctrl+cfence";
+  }
+  return "?";
+}
+
+std::string RepairAction::toString() const {
+  const std::string What =
+      Mech == RepairMech::Fence ? FenceName : repairMechName(Mech);
+  return Site.toString() + ":" + What;
+}
+
+std::string cats::repairSetName(const std::vector<RepairAction> &Actions) {
+  std::vector<std::string> Parts;
+  Parts.reserve(Actions.size());
+  for (const RepairAction &A : Actions)
+    Parts.push_back(A.toString());
+  return "{" + joinStrings(Parts, ", ") + "}";
+}
+
+namespace {
+
+bool isMemoryAccess(const Instruction &I) {
+  return I.Op == Opcode::Load || I.Op == Opcode::Store;
+}
+
+/// Semantic strength of a fence: which program-order pairs it covers and
+/// whether it takes part in the strong (full-fence) half of prop.
+struct FenceStrength {
+  enum Coverage : uint8_t { WWOnly, AllButWR, AllPairs };
+  Coverage Cov = WWOnly;
+  bool Full = false;
+  bool Known = false;
+};
+
+FenceStrength fenceStrength(const std::string &Name) {
+  using FS = FenceStrength;
+  if (Name == fence::Sync || Name == fence::MFence || Name == fence::Dmb ||
+      Name == fence::Dsb)
+    return {FS::AllPairs, true, true};
+  if (Name == fence::LwSync)
+    return {FS::AllButWR, false, true};
+  if (Name == fence::Eieio)
+    return {FS::WWOnly, false, true};
+  if (Name == fence::DmbSt || Name == fence::DsbSt)
+    return {FS::WWOnly, true, true};
+  return {};
+}
+
+/// True when fence \p A restores no more than fence \p B.
+bool fenceLeq(const std::string &A, const std::string &B) {
+  if (A == B)
+    return true;
+  const FenceStrength SA = fenceStrength(A), SB = fenceStrength(B);
+  return SA.Known && SB.Known && SA.Cov <= SB.Cov && SA.Full <= SB.Full;
+}
+
+/// The HwConfig carrying an architecture's fence costs, when it has one.
+const HwConfig *hwConfigFor(Arch A) {
+  static const HwConfig Power = HwConfig::power();
+  static const HwConfig Arm = HwConfig::arm();
+  switch (A) {
+  case Arch::Power:
+    return &Power;
+  case Arch::ARM:
+    return &Arm;
+  default:
+    return nullptr;
+  }
+}
+
+/// Fallback cost when the architecture has no HwConfig entry: full fences
+/// are expensive, control fences cheap.
+unsigned defaultFenceCost(const std::string &Name) {
+  const FenceStrength S = fenceStrength(Name);
+  if (!S.Known)
+    return 1; // Control fences (isync/isb) and unknowns.
+  return S.Full ? 6u : 3u;
+}
+
+unsigned fenceCostFor(Arch A, const std::string &Name) {
+  if (const HwConfig *C = hwConfigFor(A))
+    if (unsigned Cost = C->fenceCost(Name))
+      return Cost;
+  return defaultFenceCost(Name);
+}
+
+} // namespace
+
+std::vector<RepairSite> cats::enumerateSites(const LitmusTest &Test) {
+  std::vector<RepairSite> Sites;
+  for (size_t T = 0; T < Test.Threads.size(); ++T) {
+    const ThreadCode &Code = Test.Threads[T];
+    int Prev = -1;
+    unsigned Gap = 0;
+    for (size_t I = 0; I < Code.size(); ++I) {
+      if (!isMemoryAccess(Code[I]))
+        continue;
+      if (Prev >= 0) {
+        RepairSite S;
+        S.Thread = static_cast<ThreadId>(T);
+        S.Gap = Gap++;
+        S.PrevAt = static_cast<unsigned>(Prev);
+        S.InsertAt = static_cast<unsigned>(I);
+        S.PrevIsRead = Code[Prev].Op == Opcode::Load;
+        S.NextIsRead = Code[I].Op == Opcode::Load;
+        S.PrevLoadReg = S.PrevIsRead ? Code[Prev].Dst : -1;
+        S.NextHasAddrDep = Code[I].AddrDep != -1;
+        S.NextIsImmStore =
+            Code[I].Op == Opcode::Store && Code[I].Src1.isImm();
+        for (size_t J = Prev + 1; J < I; ++J) {
+          if (Code[J].Op == Opcode::Fence)
+            S.GapFences.push_back(Code[J].FenceName);
+          if (Code[J].Op == Opcode::CmpBranch)
+            S.GapHasBranch = true;
+        }
+        Sites.push_back(std::move(S));
+      }
+      Prev = static_cast<int>(I);
+    }
+  }
+  return Sites;
+}
+
+std::vector<std::string> cats::repairFenceVocabulary(Arch A,
+                                                     bool IncludeWWOnly) {
+  // Weakest first; equivalent fences collapse to one representative (dmb
+  // stands for dsb, dmb.st for dsb.st).
+  switch (A) {
+  case Arch::Power:
+    if (IncludeWWOnly)
+      return {fence::Eieio, fence::LwSync, fence::Sync};
+    return {fence::LwSync, fence::Sync};
+  case Arch::ARM:
+    if (IncludeWWOnly)
+      return {fence::DmbSt, fence::Dmb};
+    return {fence::Dmb};
+  case Arch::TSO:
+    return {fence::MFence};
+  case Arch::SC:
+  case Arch::CppRA:
+    return {};
+  }
+  return {};
+}
+
+std::vector<RepairAction> cats::enumerateActions(const LitmusTest &Test,
+                                                 bool IncludeWWOnly) {
+  const Arch A = Test.TargetArch;
+  const std::vector<std::string> Vocab =
+      repairFenceVocabulary(A, IncludeWWOnly);
+  const std::string ControlFence = archControlFence(A);
+  const bool HasControlFence = archHasFence(A, ControlFence);
+
+  std::vector<RepairAction> Actions;
+  for (const RepairSite &Site : enumerateSites(Test)) {
+    auto At = [&Site](RepairMech M, std::string Fence = "") {
+      RepairAction Act;
+      Act.Site = Site;
+      Act.Mech = M;
+      Act.FenceName = std::move(Fence);
+      return Act;
+    };
+    // Fences, skipping ones the gap's existing fences already imply.
+    for (const std::string &F : Vocab) {
+      bool Implied = false;
+      for (const std::string &G : Site.GapFences)
+        Implied |= fenceLeq(F, G);
+      if (!Implied)
+        Actions.push_back(At(RepairMech::Fence, F));
+    }
+    // Dependencies start at a read, and add nothing at a gap an existing
+    // fence covering the non-WW pairs already orders (repairActionLeq's
+    // dependency-below-fence rule).
+    bool DepsImplied = false;
+    for (const std::string &G : Site.GapFences) {
+      const FenceStrength S = fenceStrength(G);
+      DepsImplied |= S.Known && S.Cov >= FenceStrength::AllButWR;
+    }
+    if (Site.PrevLoadReg < 0 || DepsImplied)
+      continue;
+    if (!Site.NextHasAddrDep)
+      Actions.push_back(At(RepairMech::Addr));
+    if (Site.NextIsImmStore)
+      Actions.push_back(At(RepairMech::Data));
+    if (!Site.GapHasBranch)
+      Actions.push_back(At(RepairMech::Ctrl));
+    if (HasControlFence) {
+      bool GapHasCfence =
+          std::find(Site.GapFences.begin(), Site.GapFences.end(),
+                    ControlFence) != Site.GapFences.end();
+      if (!(Site.GapHasBranch && GapHasCfence))
+        Actions.push_back(At(RepairMech::CtrlCfence));
+    }
+  }
+  return Actions;
+}
+
+unsigned cats::repairActionCost(Arch A, const RepairAction &Act) {
+  switch (Act.Mech) {
+  case RepairMech::Fence:
+    return fenceCostFor(A, Act.FenceName);
+  case RepairMech::Addr:
+  case RepairMech::Data:
+  case RepairMech::Ctrl:
+    return 1;
+  case RepairMech::CtrlCfence:
+    return 1 + fenceCostFor(A, archControlFence(A));
+  }
+  return 1;
+}
+
+bool cats::repairActionLeq(const RepairAction &A, const RepairAction &B) {
+  if (!A.Site.sameAs(B.Site))
+    return false;
+  if (A.Mech == RepairMech::Fence) {
+    // A fence is never below a dependency (cumulativity, wider sources).
+    return B.Mech == RepairMech::Fence && fenceLeq(A.FenceName, B.FenceName);
+  }
+  if (B.Mech == RepairMech::Fence) {
+    // A dependency starts at a read, so every pair it orders is
+    // read-sourced and po-crosses the gap; a fence covering the non-WW
+    // pairs there orders all of them, cumulativity on top.
+    const FenceStrength S = fenceStrength(B.FenceName);
+    return S.Known && S.Cov >= FenceStrength::AllButWR;
+  }
+  if (A.Mech == B.Mech)
+    return true;
+  return A.Mech == RepairMech::Ctrl && B.Mech == RepairMech::CtrlCfence;
+}
+
+Expected<LitmusTest> cats::applyRepair(
+    const LitmusTest &Test, const std::vector<RepairAction> &Actions) {
+  using Fail = Expected<LitmusTest>;
+  for (size_t I = 0; I < Actions.size(); ++I) {
+    const RepairSite &S = Actions[I].Site;
+    if (S.Thread < 0 ||
+        static_cast<size_t>(S.Thread) >= Test.Threads.size() ||
+        S.InsertAt >= Test.Threads[S.Thread].size())
+      return Fail::error("repair: action site out of range: " +
+                         Actions[I].toString());
+    for (size_t J = I + 1; J < Actions.size(); ++J)
+      if (S.sameAs(Actions[J].Site))
+        return Fail::error("repair: two actions at site " + S.toString());
+  }
+
+  LitmusTest Out = Test;
+
+  // Per thread, apply back to front so earlier insertion points stay
+  // valid; fresh registers start past everything the thread touches.
+  std::map<ThreadId, std::vector<const RepairAction *>> ByThread;
+  for (const RepairAction &Act : Actions)
+    ByThread[Act.Site.Thread].push_back(&Act);
+
+  for (auto &[T, List] : ByThread) {
+    ThreadCode &Code = Out.Threads[T];
+    Register Fresh = 0;
+    for (const Instruction &I : Code) {
+      Fresh = std::max(Fresh, I.Dst + 1);
+      if (I.Src1.isReg())
+        Fresh = std::max(Fresh, I.Src1.asReg() + 1);
+      if (I.Src2.isReg())
+        Fresh = std::max(Fresh, I.Src2.asReg() + 1);
+      Fresh = std::max(Fresh, I.AddrDep + 1);
+    }
+    std::sort(List.begin(), List.end(),
+              [](const RepairAction *A, const RepairAction *B) {
+                return A->Site.InsertAt > B->Site.InsertAt;
+              });
+
+    for (const RepairAction *Act : List) {
+      const unsigned At = Act->Site.InsertAt;
+      const Register SrcReg = Act->Site.PrevLoadReg;
+      switch (Act->Mech) {
+      case RepairMech::Fence:
+        Code.insert(Code.begin() + At,
+                    Instruction::fenceNamed(Act->FenceName));
+        break;
+      case RepairMech::Ctrl:
+        if (SrcReg < 0)
+          return Fail::error("repair: ctrl needs a load before the gap");
+        Code.insert(Code.begin() + At, Instruction::cmpBranch(SrcReg));
+        break;
+      case RepairMech::CtrlCfence: {
+        if (SrcReg < 0)
+          return Fail::error("repair: ctrl+cfence needs a load before "
+                             "the gap");
+        const char *Cfence = archControlFence(Test.TargetArch);
+        Code.insert(Code.begin() + At, Instruction::fenceNamed(Cfence));
+        Code.insert(Code.begin() + At, Instruction::cmpBranch(SrcReg));
+        break;
+      }
+      case RepairMech::Addr: {
+        if (SrcReg < 0)
+          return Fail::error("repair: addr needs a load before the gap");
+        if (Code[At].AddrDep != -1)
+          return Fail::error("repair: access already carries an address "
+                             "dependency");
+        const Register Dep = Fresh++;
+        Code.insert(Code.begin() + At,
+                    Instruction::xorOp(Dep, SrcReg, SrcReg));
+        Code[At + 1].AddrDep = Dep;
+        break;
+      }
+      case RepairMech::Data: {
+        if (SrcReg < 0)
+          return Fail::error("repair: data needs a load before the gap");
+        Instruction &St = Code[At];
+        if (St.Op != Opcode::Store || !St.Src1.isImm())
+          return Fail::error("repair: data needs an immediate store after "
+                             "the gap");
+        // The diy recipe: zero the source register, add the constant, so
+        // the stored value is unchanged but flows through the load.
+        const Register ImmReg = Fresh++;
+        const Register ZeroReg = Fresh++;
+        const Register ValReg = Fresh++;
+        const Value V = St.Src1.asImm();
+        St.Src1 = Operand::reg(ValReg);
+        Code.insert(Code.begin() + At,
+                    Instruction::addOp(ValReg, ZeroReg, ImmReg));
+        Code.insert(Code.begin() + At,
+                    Instruction::xorOp(ZeroReg, SrcReg, SrcReg));
+        Code.insert(Code.begin() + At,
+                    Instruction::move(ImmReg, Operand::imm(V)));
+        break;
+      }
+      }
+    }
+  }
+
+  std::vector<std::string> Tags;
+  for (const RepairAction &Act : Actions)
+    Tags.push_back(Act.toString());
+  Out.Name = Test.Name + "+repair[" + joinStrings(Tags, ",") + "]";
+
+  std::string Problem = Out.validate();
+  if (!Problem.empty())
+    return Fail::error("repair: mutant fails validation: " + Problem);
+  return Out;
+}

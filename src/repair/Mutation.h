@@ -1,0 +1,133 @@
+//===- Mutation.h - Candidate fence/dependency insertions -----*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutation layer of the repair subsystem (Sec. 7): enumerate the
+/// program-order gaps of a litmus test (consecutive memory accesses of one
+/// thread) and the well-formed single insertions at each gap — every fence
+/// of the architecture's repair vocabulary, plus addr/data/ctrl and
+/// ctrl+cfence dependency strengthening where the access directions and
+/// operands permit. Applying a set of insertions yields a mutated test that
+/// validates and compiles like any hand-written one.
+///
+/// Candidate insertions carry a per-architecture cost (HwConfig::FenceCosts,
+/// lwsync < sync style) and a semantic strength order: A <= B when whatever
+/// A restores, B restores too. The search engine prunes the insertion
+/// lattice with that order, so it must only relate actions whose ordering
+/// edges are genuinely contained (e.g. a dependency from a read is weaker
+/// than any fence covering read-sourced pairs at the same gap).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_REPAIR_MUTATION_H
+#define CATS_REPAIR_MUTATION_H
+
+#include "litmus/LitmusTest.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// A program-order gap: two consecutive memory accesses of one thread,
+/// plus what the mutation layer needs to know about the instructions
+/// already sitting between them (for dedup of equivalent placements).
+struct RepairSite {
+  ThreadId Thread = 0;
+  /// Ordinal gap within the thread (0 = between 1st and 2nd access).
+  unsigned Gap = 0;
+  /// Instruction index of the earlier access.
+  unsigned PrevAt = 0;
+  /// Instruction index of the later access; insertions go right before it.
+  unsigned InsertAt = 0;
+  bool PrevIsRead = false;
+  bool NextIsRead = false;
+  /// Destination register of the earlier access when it is a load; -1 for
+  /// stores (no dependency can start at a write).
+  Register PrevLoadReg = -1;
+  /// Whether the later access already carries an address dependency.
+  bool NextHasAddrDep = false;
+  /// Whether the later access is a store of an immediate (the only shape
+  /// data-dependency strengthening rewrites).
+  bool NextIsImmStore = false;
+  /// Whether a compare-and-branch already sits in the gap.
+  bool GapHasBranch = false;
+  /// Fence names already sitting in the gap.
+  std::vector<std::string> GapFences;
+
+  bool sameAs(const RepairSite &Other) const {
+    return Thread == Other.Thread && Gap == Other.Gap;
+  }
+
+  /// "P0" for a thread's first gap, "P0.1" for later ones.
+  std::string toString() const;
+};
+
+/// Ordering mechanisms the mutation layer can insert at a site.
+enum class RepairMech : uint8_t { Fence, Addr, Data, Ctrl, CtrlCfence };
+
+/// Display name: "addr", "data", "ctrl", "ctrl+cfence" ("fence" for
+/// RepairMech::Fence, whose display is the fence name itself).
+const char *repairMechName(RepairMech M);
+
+/// One candidate insertion: a mechanism at a site.
+struct RepairAction {
+  RepairSite Site;
+  RepairMech Mech = RepairMech::Fence;
+  /// For RepairMech::Fence.
+  std::string FenceName;
+
+  /// "P0:lwsync", "P1:addr", "P1:ctrl+cfence".
+  std::string toString() const;
+};
+
+/// The program-order gaps of \p Test, thread-major then program order.
+std::vector<RepairSite> enumerateSites(const LitmusTest &Test);
+
+/// The canonical insertable fences of \p A, weakest first. Equivalent
+/// fences collapse to one representative (dmb stands for dsb); standalone
+/// control fences are excluded (they only order via ctrl+cfence).
+/// \p IncludeWWOnly adds the write-write-only fences (eieio, dmb.st) —
+/// off by default, matching the paper's restoration discussion which
+/// works with sync/lwsync/dmb and dependencies.
+std::vector<std::string> repairFenceVocabulary(Arch A,
+                                               bool IncludeWWOnly = false);
+
+/// Every well-formed single insertion for \p Test, deduped: fences already
+/// implied by the gap's existing fences are skipped, as are dependencies
+/// the program already carries. Deterministic order (site-major, then
+/// fences weakest first, then addr/data/ctrl/ctrl+cfence).
+std::vector<RepairAction> enumerateActions(const LitmusTest &Test,
+                                           bool IncludeWWOnly = false);
+
+/// Insertion cost of \p Act on \p A: dependencies cost 1 (ctrl+cfence adds
+/// the control fence's cost), fences cost their HwConfig::FenceCosts entry
+/// (repair defaults when the architecture has no HwConfig).
+unsigned repairActionCost(Arch A, const RepairAction &Act);
+
+/// Semantic strength order between two actions at the same site: true when
+/// every ordering \p A restores, \p B restores too (so a repairing set
+/// containing A makes the same set with B non-minimal). Comparable pairs:
+/// equal actions; fences by pair-coverage and cumulativity (eieio <=
+/// lwsync <= sync, dmb.st <= dmb); ctrl <= ctrl+cfence; and any dependency
+/// (which starts at a read) <= a fence covering all read-sourced pairs.
+/// Actions at different sites are never comparable.
+bool repairActionLeq(const RepairAction &A, const RepairAction &B);
+
+/// Applies \p Actions (at most one per site) to \p Test: inserts fences
+/// and branches, threads addr/data dependencies through fresh registers
+/// exactly as diy does, and re-validates. The mutant is named
+/// "<test>+repair[<action>,...]".
+Expected<LitmusTest> applyRepair(const LitmusTest &Test,
+                                 const std::vector<RepairAction> &Actions);
+
+/// "{P0:lwsync, P1:addr}".
+std::string repairSetName(const std::vector<RepairAction> &Actions);
+
+} // namespace cats
+
+#endif // CATS_REPAIR_MUTATION_H

@@ -161,6 +161,79 @@ TEST(Diy, RejectsMalformedCycles) {
   EXPECT_FALSE(static_cast<bool>(synthesizeTest(BadFence, Arch::Power)));
 }
 
+TEST(Diy, ValidatesFenceVocabularyUpFront) {
+  // A fence mechanism with no name is a malformed cycle, not a silently
+  // emitted unknown fence.
+  DiyCycle NoName = WITH_MECHS(
+      familyCycle("mp"), {{PoMech::Fence, ""}, {PoMech::None, ""}});
+  auto Unnamed = synthesizeTest(NoName, Arch::Power);
+  ASSERT_FALSE(static_cast<bool>(Unnamed));
+  EXPECT_NE(Unnamed.message().find("no fence name"), std::string::npos)
+      << Unnamed.message();
+  // A fence from another architecture names the vocabulary in the error.
+  DiyCycle Wrong = WITH_MECHS(
+      familyCycle("mp"), {{PoMech::Fence, "mfence"}, {PoMech::None, ""}});
+  auto Foreign = synthesizeTest(Wrong, Arch::Power);
+  ASSERT_FALSE(static_cast<bool>(Foreign));
+  EXPECT_NE(Foreign.message().find("fence vocabulary"), std::string::npos)
+      << Foreign.message();
+  // ctrl+cfence needs the architecture to have a control fence at all.
+  DiyCycle Cfence = WITH_MECHS(
+      familyCycle("mp"), {{PoMech::None, ""}, {PoMech::CtrlCfence, ""}});
+  auto NoCfence = synthesizeTest(Cfence, Arch::TSO);
+  ASSERT_FALSE(static_cast<bool>(NoCfence));
+  EXPECT_NE(NoCfence.message().find("ctrl+cfence"), std::string::npos)
+      << NoCfence.message();
+  // The same cycle is fine where the control fence exists.
+  EXPECT_TRUE(static_cast<bool>(synthesizeTest(Cfence, Arch::Power)));
+  EXPECT_TRUE(static_cast<bool>(synthesizeTest(Cfence, Arch::ARM)));
+}
+
+TEST(Diy, BatteryIsDeterministic) {
+  for (Arch A : {Arch::Power, Arch::ARM, Arch::TSO}) {
+    auto First = generateBattery(A, 6);
+    auto Second = generateBattery(A, 6);
+    ASSERT_EQ(First.size(), Second.size()) << archName(A);
+    for (size_t I = 0; I < First.size(); ++I) {
+      EXPECT_EQ(First[I].Name, Second[I].Name);
+      EXPECT_EQ(First[I].toString(), Second[I].toString());
+    }
+  }
+}
+
+TEST(Diy, CycleNameRoundTripsOnClassicFamilies) {
+  // The family name is rotation-invariant, and the synthesized test's
+  // name round-trips through cycleName for every classic family.
+  for (const auto &[Family, Cycle] : classicFamilies()) {
+    DiyCycle Rotated = Cycle;
+    for (size_t R = 0; R < Cycle.size(); ++R) {
+      EXPECT_EQ(cycleName(Rotated), Family) << "rotation " << R;
+      std::rotate(Rotated.begin(), Rotated.begin() + 1, Rotated.end());
+    }
+    auto Test = synthesizeTest(Cycle, Arch::Power);
+    ASSERT_TRUE(static_cast<bool>(Test)) << Family;
+    EXPECT_EQ(Test->Name, cycleName(Cycle)) << Family;
+  }
+}
+
+TEST(Diy, CycleNameKeepsMechanismSuffixOrder) {
+  // Mechanism suffixes follow the cycle's po-edge order for each family.
+  for (const char *Family : {"mp", "sb", "lb", "wrc", "isa2", "2+2w",
+                             "rwc", "r", "s", "iriw"}) {
+    DiyCycle Cycle = familyCycle(Family);
+    unsigned PoEdges = 0;
+    for (DiyEdge &E : Cycle)
+      if (E.Kind == EdgeKind::Po) {
+        E.Mech = PoMech::Fence;
+        E.FenceName = PoEdges++ ? "lwsync" : "sync";
+      }
+    std::string Name = cycleName(Cycle);
+    EXPECT_EQ(Name.rfind(std::string(Family) + "+sync", 0), 0u) << Name;
+    EXPECT_EQ(Name.find("sync") < Name.find("lwsync"), PoEdges > 1)
+        << Name;
+  }
+}
+
 TEST(Diy, DataDependencyKeepsValues) {
   DiyCycle Cycle = WITH_MECHS(
       familyCycle("lb"), {{PoMech::Data, ""}, {PoMech::Data, ""}});

@@ -1,0 +1,245 @@
+//===- cats_repair.cpp - Search-based fence synthesis CLI -----------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repair CLI over src/repair: load litmus tests from files,
+/// directories, the built-in figure catalogue and/or a freshly generated
+/// diy battery, then compute the minimal fence/dependency insertions that
+/// restore the goal (forbid the exists-clause, or full SC equivalence) on
+/// the target model. Candidate mutants are judged batch-wise on the sweep
+/// engine: one shared candidate enumeration per mutant covers every model,
+/// and a whole battery advances through the insertion lattice in lock-step
+/// rounds distributed over a worker pool.
+///
+///   cats_repair --catalogue --filter '^mp$'
+///   cats_repair --model Power --all-minimal litmus/mp.litmus
+///   cats_repair --battery power --goal sc --jobs 8 --json report.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "diy/Diy.h"
+#include "litmus/TestFilter.h"
+#include "model/Registry.h"
+#include "repair/RepairEngine.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace cats;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [<file.litmus>|<dir>]...\n"
+      "\n"
+      "Computes minimal fence/dependency insertions restoring a goal on a\n"
+      "weak model (Sec. 7 of the paper): every candidate mutant battery is\n"
+      "judged in batched shared-enumeration sweeps.\n"
+      "\n"
+      "Inputs: .litmus files, directories (scanned for *.litmus), the\n"
+      "built-in figure catalogue, and/or a generated diy battery. With no\n"
+      "input, the catalogue runs.\n"
+      "\n"
+      "options:\n"
+      "  --model NAME     target model for every test (default: each\n"
+      "                   test's architecture default)\n"
+      "  --goal G         forbid: make the exists-clause unobservable\n"
+      "                   (default); sc: match the native SC outcomes\n"
+      "  --jobs N         worker threads (default: hardware concurrency)\n"
+      "  --filter REGEX   keep only tests whose name matches\n"
+      "  --all-minimal    print every minimal repair (default: cheapest)\n"
+      "  --catalogue      add the built-in figure catalogue to the inputs\n"
+      "  --battery ARCH   add the diy battery for ARCH (power, arm, tso)\n"
+      "  --max-per-family N  cap the battery size per family (default 16,\n"
+      "                   0 = unlimited)\n"
+      "  --ww-fences      include write-write-only fences (eieio, dmb.st)\n"
+      "  --json FILE      write the cats-repair-report/1 JSON report\n"
+      "  --quiet          suppress the per-test text blocks\n"
+      "  --help           this message\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  RepairOptions Opts;
+  bool UseCatalogue = false, AllMinimal = false, Quiet = false;
+  unsigned MaxPerFamily = 16;
+  std::string JsonPath, Filter, ModelName, BatteryArch;
+  std::vector<std::string> Paths;
+
+  for (int I = 1; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    auto NeedsValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "cats_repair: %s needs a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (Arg == "--help" || Arg == "-h")
+      return usage(argv[0]);
+    if (Arg == "--jobs") {
+      const char *V = NeedsValue("--jobs");
+      if (!V)
+        return 2;
+      char *End = nullptr;
+      long N = std::strtol(V, &End, 10);
+      if (*End || N < 1) {
+        std::fprintf(stderr, "cats_repair: bad --jobs value '%s'\n", V);
+        return 2;
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+    } else if (Arg == "--model") {
+      const char *V = NeedsValue("--model");
+      if (!V)
+        return 2;
+      ModelName = V;
+    } else if (Arg == "--goal") {
+      const char *V = NeedsValue("--goal");
+      if (!V)
+        return 2;
+      if (std::strcmp(V, "forbid") == 0) {
+        Opts.Goal = RepairGoal::ForbidFinal;
+      } else if (std::strcmp(V, "sc") == 0) {
+        Opts.Goal = RepairGoal::ScEquivalence;
+      } else {
+        std::fprintf(stderr, "cats_repair: unknown goal '%s' "
+                             "(forbid or sc)\n", V);
+        return 2;
+      }
+    } else if (Arg == "--filter") {
+      const char *V = NeedsValue("--filter");
+      if (!V)
+        return 2;
+      Filter = V;
+    } else if (Arg == "--battery") {
+      const char *V = NeedsValue("--battery");
+      if (!V)
+        return 2;
+      BatteryArch = V;
+    } else if (Arg == "--max-per-family") {
+      const char *V = NeedsValue("--max-per-family");
+      if (!V)
+        return 2;
+      char *End = nullptr;
+      long N = std::strtol(V, &End, 10);
+      if (*End || N < 0) {
+        std::fprintf(stderr, "cats_repair: bad --max-per-family value "
+                             "'%s'\n", V);
+        return 2;
+      }
+      MaxPerFamily = static_cast<unsigned>(N);
+    } else if (Arg == "--all-minimal") {
+      AllMinimal = true;
+    } else if (Arg == "--ww-fences") {
+      Opts.IncludeWWOnlyFences = true;
+    } else if (Arg == "--catalogue" || Arg == "--catalog") {
+      UseCatalogue = true;
+    } else if (Arg == "--json") {
+      const char *V = NeedsValue("--json");
+      if (!V)
+        return 2;
+      JsonPath = V;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "cats_repair: unknown option %s\n", Arg.c_str());
+      return usage(argv[0]);
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+
+  if (!ModelName.empty()) {
+    Opts.TargetModel = modelByName(ModelName);
+    if (!Opts.TargetModel) {
+      std::fprintf(stderr, "cats_repair: unknown model '%s'\n",
+                   ModelName.c_str());
+      return 2;
+    }
+  }
+
+  // Gather the tests: files first (sorted per directory), catalogue, then
+  // the battery pipeline.
+  if (Paths.empty() && !UseCatalogue && BatteryArch.empty())
+    UseCatalogue = true;
+  std::vector<LitmusTest> Battery;
+  if (!BatteryArch.empty()) {
+    Arch A;
+    std::string Upper = BatteryArch;
+    std::transform(Upper.begin(), Upper.end(), Upper.begin(),
+                   [](unsigned char C) { return std::toupper(C); });
+    if (!parseArch(BatteryArch, A) && !parseArch(Upper, A)) {
+      std::fprintf(stderr, "cats_repair: unknown architecture '%s'\n",
+                   BatteryArch.c_str());
+      return 2;
+    }
+    Battery = generateBattery(A, MaxPerFamily);
+  }
+
+  auto Loaded =
+      loadCampaignTests(Paths, UseCatalogue, Filter, std::move(Battery));
+  if (!Loaded) {
+    std::fprintf(stderr, "cats_repair: %s\n", Loaded.message().c_str());
+    return 2;
+  }
+  for (const std::string &Problem : Loaded->Errors)
+    std::fprintf(stderr, "cats_repair: %s\n", Problem.c_str());
+  const bool LoadFailed = !Loaded->Errors.empty();
+  std::vector<LitmusTest> Tests = std::move(Loaded->Tests);
+  if (Tests.empty()) {
+    std::fprintf(stderr, "cats_repair: no tests to repair\n");
+    return 2;
+  }
+
+  // Run the campaign.
+  RepairEngine Engine(Opts);
+  RepairReport Report = Engine.run(Tests);
+
+  if (!Quiet) {
+    for (const TestRepairResult &T : Report.Tests) {
+      if (AllMinimal) {
+        std::printf("%s\n", repairTextReport(T).c_str());
+        continue;
+      }
+      // Compact line: verdict plus the cheapest repair.
+      std::printf("%-34s %-14s", T.TestName.c_str(), T.verdict());
+      if (!T.Error.empty())
+        std::printf(" %s", T.Error.c_str());
+      else if (const RepairSet *Best = T.cheapest())
+        std::printf(" %s cost %u", Best->name().c_str(), Best->Cost);
+      std::printf("\n");
+    }
+    std::printf("\n%zu tests, %llu mutants judged in %u rounds, "
+                "%u worker(s), %.3fs\n",
+                Report.Tests.size(), Report.MutantsEvaluated, Report.Rounds,
+                Report.Jobs, Report.WallSeconds);
+  }
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "cats_repair: cannot write %s\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    Out << repairReportToJson(Report).dump();
+    if (!Quiet)
+      std::printf("wrote %s\n", JsonPath.c_str());
+  }
+
+  return (LoadFailed || !Report.allOk()) ? 1 : 0;
+}

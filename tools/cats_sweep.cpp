@@ -18,16 +18,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "litmus/Catalog.h"
-#include "litmus/Parser.h"
+#include "litmus/TestFilter.h"
 #include "model/Registry.h"
 #include "support/StringUtils.h"
 #include "sweep/SweepEngine.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -53,6 +50,7 @@ int usage(const char *Argv0) {
       "  --models A,B,C  comma-separated model names (default: all).\n"
       "                  Known: SC, TSO, PSO, RMO, C++RA, Power, ARM,\n"
       "                  Power-ARM, ARM llh\n"
+      "  --filter REGEX  keep only tests whose name matches\n"
       "  --catalogue     add the built-in figure catalogue to the inputs\n"
       "  --json FILE     write the cats-sweep-report/1 JSON report\n"
       "  --herd          print the classic herd block per test x model\n"
@@ -62,33 +60,12 @@ int usage(const char *Argv0) {
   return 2;
 }
 
-bool collectPath(const std::string &Path, std::vector<std::string> &Files) {
-  namespace fs = std::filesystem;
-  std::error_code Ec;
-  if (fs::is_directory(Path, Ec)) {
-    std::vector<std::string> Found;
-    for (const auto &Entry : fs::directory_iterator(Path, Ec))
-      if (Entry.path().extension() == ".litmus")
-        Found.push_back(Entry.path().string());
-    std::sort(Found.begin(), Found.end());
-    Files.insert(Files.end(), Found.begin(), Found.end());
-    return true;
-  }
-  if (fs::is_regular_file(Path, Ec)) {
-    Files.push_back(Path);
-    return true;
-  }
-  std::fprintf(stderr, "cats_sweep: no such file or directory: %s\n",
-               Path.c_str());
-  return false;
-}
-
 } // namespace
 
 int main(int argc, char **argv) {
   unsigned Jobs = 0;
   bool UseCatalogue = false, Herd = false, Quiet = false;
-  std::string JsonPath;
+  std::string JsonPath, Filter;
   std::vector<std::string> ModelNames;
   std::vector<std::string> Paths;
 
@@ -121,6 +98,11 @@ int main(int argc, char **argv) {
       for (const std::string &Name : splitString(V, ','))
         if (!trimString(Name).empty())
           ModelNames.push_back(trimString(Name));
+    } else if (Arg == "--filter") {
+      const char *V = NeedsValue("--filter");
+      if (!V)
+        return 2;
+      Filter = V;
     } else if (Arg == "--catalogue" || Arg == "--catalog") {
       UseCatalogue = true;
     } else if (Arg == "--json") {
@@ -159,26 +141,15 @@ int main(int argc, char **argv) {
   // Gather the tests: files first (sorted per directory), catalogue after.
   if (Paths.empty() && !UseCatalogue)
     UseCatalogue = true;
-  std::vector<std::string> Files;
-  for (const std::string &Path : Paths)
-    if (!collectPath(Path, Files))
-      return 2;
-
-  std::vector<LitmusTest> Tests;
-  bool LoadFailed = false;
-  for (const std::string &File : Files) {
-    auto Test = parseLitmusFile(File);
-    if (!Test) {
-      std::fprintf(stderr, "cats_sweep: %s: %s\n", File.c_str(),
-                   Test.message().c_str());
-      LoadFailed = true;
-      continue;
-    }
-    Tests.push_back(Test.take());
+  auto Loaded = loadCampaignTests(Paths, UseCatalogue, Filter);
+  if (!Loaded) {
+    std::fprintf(stderr, "cats_sweep: %s\n", Loaded.message().c_str());
+    return 2;
   }
-  if (UseCatalogue)
-    for (const CatalogEntry &Entry : figureCatalog())
-      Tests.push_back(Entry.Test);
+  for (const std::string &Problem : Loaded->Errors)
+    std::fprintf(stderr, "cats_sweep: %s\n", Problem.c_str());
+  const bool LoadFailed = !Loaded->Errors.empty();
+  std::vector<LitmusTest> Tests = std::move(Loaded->Tests);
   if (Tests.empty()) {
     std::fprintf(stderr, "cats_sweep: no tests to run\n");
     return 2;
