@@ -1,0 +1,47 @@
+#!/bin/sh
+# check_docs_links.sh - fail when an intra-repo markdown link is broken.
+#
+# Scans every tracked *.md file for inline links [text](target), skips
+# external schemes (http/https/mailto) and pure #fragments, resolves the
+# rest relative to the linking file, and checks the target exists. CI
+# runs this in the docs job; run it locally from the repository root.
+
+set -u
+cd "$(dirname "$0")/.." || exit 2
+
+fail=0
+# Tracked plus untracked-but-not-ignored markdown files when git is
+# available (so a freshly written doc is checked before 'git add'), else
+# a find fallback.
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  files=$(git ls-files --cached --others --exclude-standard '*.md')
+else
+  files=$(find . -name '*.md' -not -path './build/*' | sed 's|^\./||')
+fi
+
+for file in $files; do
+  dir=$(dirname "$file")
+  # Inline links: "](target)" — one per line via grep -o; strip the
+  # wrappers and any 'title' part after the first whitespace, so
+  # [text](file.md "Title") checks file.md.
+  links=$(grep -o ']([^)]*)' "$file" 2>/dev/null |
+          sed 's/^](//; s/)$//; s/[[:space:]].*//')
+  [ -z "$links" ] && continue
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target=${link%%#*}
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "BROKEN: $file -> $link"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check failed"
+  exit 1
+fi
+echo "docs link check passed"

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 using namespace cats;
 
@@ -97,57 +98,152 @@ std::string mechSuffix(const DiyEdge &E, Arch Target) {
 
 } // namespace
 
-std::string cats::cycleName(const DiyCycle &Cycle) {
-  // Classic family detection by rotation-invariant edge signature.
-  auto Signature = [](const DiyCycle &C) {
-    std::string Sig;
-    for (const DiyEdge &E : C) {
-      switch (E.Kind) {
-      case EdgeKind::Rfe:
-        Sig += "r";
-        break;
-      case EdgeKind::Fre:
-        Sig += "f";
-        break;
-      case EdgeKind::Wse:
-        Sig += "w";
-        break;
-      case EdgeKind::Rfi:
-        Sig += "ri";
-        break;
-      case EdgeKind::Fri:
-        Sig += "fi";
-        break;
-      case EdgeKind::Wsi:
-        Sig += "wi";
-        break;
-      case EdgeKind::Po:
-        Sig += (E.Src == Dir::R ? "pR" : "pW");
-        Sig += (E.Dst == Dir::R ? "R" : "W");
-        break;
-      }
-    }
-    return Sig;
-  };
-  auto RotationsMatch = [&](const DiyCycle &A, const DiyCycle &B) {
-    if (A.size() != B.size())
-      return false;
-    std::string SigB = Signature(B);
-    DiyCycle Rot = A;
-    for (size_t I = 0; I < A.size(); ++I) {
-      if (Signature(Rot) == SigB)
-        return true;
-      std::rotate(Rot.begin(), Rot.begin() + 1, Rot.end());
-    }
-    return false;
-  };
+namespace {
 
-  std::string Base;
-  for (const auto &[Family, FamilyCycle] : classicFamilies())
-    if (RotationsMatch(Cycle, FamilyCycle)) {
-      Base = Family;
+/// Per-edge signature tokens: directions and edge kinds only, no
+/// mechanisms. Two cycles are the same shape iff their signatures match
+/// under some rotation.
+std::vector<std::string> edgeSignature(const DiyCycle &C) {
+  std::vector<std::string> Sig;
+  for (const DiyEdge &E : C) {
+    switch (E.Kind) {
+    case EdgeKind::Rfe:
+      Sig.push_back("r");
+      break;
+    case EdgeKind::Fre:
+      Sig.push_back("f");
+      break;
+    case EdgeKind::Wse:
+      Sig.push_back("w");
+      break;
+    case EdgeKind::Rfi:
+      Sig.push_back("ri");
+      break;
+    case EdgeKind::Fri:
+      Sig.push_back("fi");
+      break;
+    case EdgeKind::Wsi:
+      Sig.push_back("wi");
+      break;
+    case EdgeKind::Po:
+      Sig.push_back(std::string("p") + (E.Src == Dir::R ? "R" : "W") +
+                    (E.Dst == Dir::R ? "R" : "W"));
       break;
     }
+  }
+  return Sig;
+}
+
+/// True when \p Sig rotated left by \p Start equals \p Other.
+bool rotationEquals(const std::vector<std::string> &Sig, size_t Start,
+                    const std::vector<std::string> &Other) {
+  if (Sig.size() != Other.size())
+    return false;
+  for (size_t I = 0; I < Sig.size(); ++I)
+    if (Sig[(Start + I) % Sig.size()] != Other[I])
+      return false;
+  return true;
+}
+
+/// Rotation starts sitting on a thread boundary (the predecessor edge is
+/// external), so a rotation started there renders threads whole. Cycles
+/// with no external edge (malformed) fall back to every index.
+std::vector<size_t> boundaryStarts(const DiyCycle &C) {
+  std::vector<size_t> Starts;
+  for (size_t I = 0; I < C.size(); ++I)
+    if (isExternalEdge(C[(I + C.size() - 1) % C.size()].Kind))
+      Starts.push_back(I);
+  if (Starts.empty())
+    for (size_t I = 0; I < C.size(); ++I)
+      Starts.push_back(I);
+  return Starts;
+}
+
+/// The canonical rotation start of a cycle, plus the classic family it
+/// matches (empty when none). Classic-family alignment wins so that the
+/// paper's conventional rotations (writer side first for mp) survive;
+/// remaining ties — rotation-symmetric cycles like sb or iriw — break to
+/// the lexicographically-least full-edge-token rotation.
+struct CanonicalChoice {
+  size_t Start = 0;
+  std::string Family;
+};
+
+/// The classic families' signatures, computed once: canonicalChoice sits
+/// on the enumeration hot path (every closed DFS candidate), so it must
+/// not rebuild the family cycles per call.
+const std::vector<std::pair<std::string, std::vector<std::string>>> &
+familySignatures() {
+  static const auto Sigs = [] {
+    std::vector<std::pair<std::string, std::vector<std::string>>> Out;
+    for (const auto &[Family, Cycle] : classicFamilies())
+      Out.push_back({Family, edgeSignature(Cycle)});
+    return Out;
+  }();
+  return Sigs;
+}
+
+CanonicalChoice canonicalChoice(const DiyCycle &Cycle) {
+  CanonicalChoice Out;
+  if (Cycle.empty())
+    return Out;
+  std::vector<size_t> Candidates = boundaryStarts(Cycle);
+  const std::vector<std::string> Sig = edgeSignature(Cycle);
+  for (const auto &[Family, FamilySig] : familySignatures()) {
+    std::vector<size_t> Aligned;
+    for (size_t S : Candidates)
+      if (rotationEquals(Sig, S, FamilySig))
+        Aligned.push_back(S);
+    if (!Aligned.empty()) {
+      Out.Family = Family;
+      Candidates = std::move(Aligned);
+      break;
+    }
+  }
+  std::vector<std::string> Tokens;
+  for (const DiyEdge &E : Cycle)
+    Tokens.push_back(E.toString());
+  auto Less = [&](size_t A, size_t B) {
+    for (size_t I = 0; I < Tokens.size(); ++I) {
+      const std::string &TA = Tokens[(A + I) % Tokens.size()];
+      const std::string &TB = Tokens[(B + I) % Tokens.size()];
+      if (TA != TB)
+        return TA < TB;
+    }
+    return A < B;
+  };
+  Out.Start = Candidates.front();
+  for (size_t S : Candidates)
+    if (Less(S, Out.Start))
+      Out.Start = S;
+  return Out;
+}
+
+} // namespace
+
+DiyCycle cats::canonicalCycle(const DiyCycle &Cycle) {
+  if (Cycle.empty())
+    return Cycle;
+  DiyCycle Out = Cycle;
+  std::rotate(Out.begin(), Out.begin() + canonicalChoice(Cycle).Start,
+              Out.end());
+  return Out;
+}
+
+std::string cats::cycleName(const DiyCycle &Orig, Arch NameArch) {
+  if (Orig.empty())
+    return "";
+  DiyCycle Cycle = Orig;
+  return canonicalizeCycle(Cycle, NameArch);
+}
+
+std::string cats::canonicalizeCycle(DiyCycle &Cycle, Arch NameArch) {
+  if (Cycle.empty())
+    return "";
+  CanonicalChoice Choice = canonicalChoice(Cycle);
+  std::rotate(Cycle.begin(), Cycle.begin() + Choice.Start, Cycle.end());
+
+  std::string Base = Choice.Family;
   if (Base.empty()) {
     // Systematic name: per-thread direction strings (Tab. III). Internal
     // communication edges (rfi/fri/wsi) continue the thread; only
@@ -171,17 +267,51 @@ std::string cats::cycleName(const DiyCycle &Cycle) {
     Base = joinStrings(Threads, "+");
   }
 
-  // Mechanism suffixes, in cycle order, only when any is non-plain.
+  // Mechanism suffixes: one per-thread chain of the thread's non-external
+  // edges, hyphen-joined in the paper's detour notation ("fri-rfi-ctrlisb"),
+  // in cycle order. For external-only cycles every chain is a single po
+  // mechanism, so this reads exactly as the classic one-suffix-per-po-edge
+  // convention; internal communication edges spell fri/rfi/wsi into the
+  // chain, keeping names injective (an rfi detour and a plain po thread
+  // share a direction signature but not a name). All-plain external
+  // cycles carry no suffix at all.
   bool AnyMech = false;
   for (const DiyEdge &E : Cycle)
-    if (E.Kind == EdgeKind::Po && E.Mech != PoMech::None)
+    if ((E.Kind == EdgeKind::Po && E.Mech != PoMech::None) ||
+        isInternalComEdge(E.Kind))
       AnyMech = true;
   if (!AnyMech)
     return Base;
   std::string Name = Base;
-  for (const DiyEdge &E : Cycle)
-    if (E.Kind == EdgeKind::Po)
-      Name += "+" + mechSuffix(E, Arch::Power);
+  std::string Chain;
+  auto FlushChain = [&] {
+    if (!Chain.empty())
+      Name += "+" + Chain;
+    Chain.clear();
+  };
+  for (const DiyEdge &E : Cycle) {
+    if (isExternalEdge(E.Kind)) {
+      FlushChain();
+      continue;
+    }
+    if (!Chain.empty())
+      Chain += "-";
+    switch (E.Kind) {
+    case EdgeKind::Rfi:
+      Chain += "rfi";
+      break;
+    case EdgeKind::Fri:
+      Chain += "fri";
+      break;
+    case EdgeKind::Wsi:
+      Chain += "wsi";
+      break;
+    default:
+      Chain += mechSuffix(E, NameArch);
+      break;
+    }
+  }
+  FlushChain();
   return Name;
 }
 
@@ -476,9 +606,10 @@ Expected<LitmusTest> cats::synthesizeTest(const DiyCycle &Cycle,
   }
   Test.Final.addConjunction(std::move(Atoms));
 
-  // Name from the cycle as given, so mechanism suffixes follow the
-  // caller's edge order (the paper's convention: write side first for mp).
-  Test.Name = NameOverride.empty() ? cycleName(Cycle) : NameOverride;
+  // Canonical name: cycleName rotates to the classic-family alignment (or
+  // the least boundary rotation), so every rotation of the same cycle gets
+  // the same name and enumeration dedup agrees with test naming.
+  Test.Name = NameOverride.empty() ? cycleName(Cycle, Target) : NameOverride;
 
   std::string Problem = Test.validate();
   if (!Problem.empty())
@@ -535,15 +666,18 @@ std::vector<LitmusTest> cats::generateBattery(Arch Target,
       }
     }
 
-    // Cross product.
+    // Cross product. Rotation-symmetric families (sb, lb, 2+2w, iriw)
+    // produce the same cycle twice under swapped mechanism assignments;
+    // canonical names make those collisions visible, so dedup on the name.
     std::vector<size_t> Pick(PoEdges.size(), 0);
+    std::set<std::string> SeenNames;
     unsigned Emitted = 0;
     while (true) {
       DiyCycle Cycle = Base;
       for (size_t K = 0; K < PoEdges.size(); ++K)
         Cycle[PoEdges[K]] = Choices[K][Pick[K]];
       auto Test = synthesizeTest(Cycle, Target);
-      if (Test) {
+      if (Test && SeenNames.insert(Test->Name).second) {
         Battery.push_back(Test.take());
         ++Emitted;
         if (MaxPerFamily && Emitted >= MaxPerFamily)

@@ -102,9 +102,26 @@ using DiyCycle = std::vector<DiyEdge>;
 Expected<LitmusTest> synthesizeTest(const DiyCycle &Cycle, Arch Target,
                                     const std::string &NameOverride = "");
 
-/// The systematic name of a cycle (Tab. III style), e.g. "ww+rr" for mp,
-/// with mechanism suffixes appended, e.g. "mp+lwsync+addr".
-std::string cycleName(const DiyCycle &Cycle);
+/// The canonical rotation of a cycle: classic families rotate to their
+/// Tab. III convention (writer side first for mp); rotation-symmetric
+/// cycles and systematic shapes pick the lexicographically-least rotation
+/// that starts on a thread boundary. canonicalCycle(rotate(C)) ==
+/// canonicalCycle(C) for every rotation, which is what enumeration dedup
+/// keys on.
+DiyCycle canonicalCycle(const DiyCycle &Cycle);
+
+/// The name of a cycle (Tab. III style): the classic family name where one
+/// matches, else the per-thread directions name, e.g. "ww+rr", with
+/// mechanism suffixes appended, e.g. "mp+lwsync+addr". Computed on the
+/// canonical rotation, so every rotation of a cycle gets the same name.
+/// \p NameArch picks the architecture-specific suffix spellings
+/// (ctrl+cfence is "ctrlisb" on ARM, "ctrlisync" elsewhere).
+std::string cycleName(const DiyCycle &Cycle, Arch NameArch = Arch::Power);
+
+/// Canonicalizes \p Cycle in place and returns its name — one
+/// canonicalization scan where canonicalCycle + cycleName would do two.
+/// The enumeration hot path uses this.
+std::string canonicalizeCycle(DiyCycle &Cycle, Arch NameArch = Arch::Power);
 
 /// The classic base cycles of Tab. III by family name: mp, sb (wr+wr),
 /// lb (rw+rw), wrc, isa2, 2+2w, w+rw+2w, rwc, r, s, iriw.

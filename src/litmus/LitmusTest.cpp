@@ -10,6 +10,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cctype>
 #include <set>
 
 using namespace cats;
@@ -46,23 +47,28 @@ std::string Instruction::toString() const {
 }
 
 bool cats::parseArch(const std::string &Name, Arch &Out) {
-  if (Name == "SC") {
+  // Case-insensitive: litmus headers write "Power"/"PPC", the CLIs take
+  // "power".
+  std::string Lower;
+  for (char C : Name)
+    Lower += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (Lower == "sc") {
     Out = Arch::SC;
     return true;
   }
-  if (Name == "TSO" || Name == "X86" || Name == "x86") {
+  if (Lower == "tso" || Lower == "x86") {
     Out = Arch::TSO;
     return true;
   }
-  if (Name == "Power" || Name == "PPC" || Name == "POWER") {
+  if (Lower == "power" || Lower == "ppc") {
     Out = Arch::Power;
     return true;
   }
-  if (Name == "ARM" || Name == "Arm") {
+  if (Lower == "arm") {
     Out = Arch::ARM;
     return true;
   }
-  if (Name == "C++RA" || Name == "CppRA" || Name == "RA") {
+  if (Lower == "c++ra" || Lower == "cppra" || Lower == "ra") {
     Out = Arch::CppRA;
     return true;
   }

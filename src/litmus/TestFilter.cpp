@@ -11,9 +11,19 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <memory>
 #include <regex>
 
 using namespace cats;
+
+Expected<std::regex> cats::compileFilterRegex(const std::string &Pattern) {
+  using Fail = Expected<std::regex>;
+  try {
+    return std::regex(Pattern, std::regex::ECMAScript);
+  } catch (const std::regex_error &E) {
+    return Fail::error("bad filter regex '" + Pattern + "': " + E.what());
+  }
+}
 
 Expected<std::vector<LitmusTest>>
 cats::filterTestsByName(const std::vector<LitmusTest> &Tests,
@@ -21,15 +31,12 @@ cats::filterTestsByName(const std::vector<LitmusTest> &Tests,
   using Fail = Expected<std::vector<LitmusTest>>;
   if (Pattern.empty())
     return Tests;
-  std::regex Re;
-  try {
-    Re = std::regex(Pattern, std::regex::ECMAScript);
-  } catch (const std::regex_error &E) {
-    return Fail::error("bad filter regex '" + Pattern + "': " + E.what());
-  }
+  auto Re = compileFilterRegex(Pattern);
+  if (!Re)
+    return Fail::error(Re.message());
   std::vector<LitmusTest> Out;
   for (const LitmusTest &Test : Tests)
-    if (std::regex_search(Test.Name, Re))
+    if (std::regex_search(Test.Name, *Re))
       Out.push_back(Test);
   return Out;
 }
@@ -86,4 +93,59 @@ cats::loadCampaignTests(const std::vector<std::string> &Paths,
     return Fail::error(Filtered.message());
   Out.Tests = Filtered.take();
   return Out;
+}
+
+Expected<TestSource>
+cats::streamCampaignTests(const std::vector<std::string> &Paths,
+                          bool UseCatalogue, const std::string &Filter,
+                          std::vector<std::string> *Errors) {
+  using Fail = Expected<TestSource>;
+  auto Files = std::make_shared<std::vector<std::string>>();
+  for (const std::string &Path : Paths) {
+    Status Collected = collectLitmusFiles(Path, *Files);
+    if (Collected.failed())
+      return Fail::error(Collected.message());
+  }
+  auto Re = std::make_shared<std::regex>();
+  const bool HasFilter = !Filter.empty();
+  if (HasFilter) {
+    auto Compiled = compileFilterRegex(Filter);
+    if (!Compiled)
+      return Fail::error(Compiled.message());
+    *Re = Compiled.take();
+  }
+
+  // Pull state: next file index, then next catalogue index.
+  auto FileIdx = std::make_shared<size_t>(0);
+  auto CatIdx = std::make_shared<size_t>(0);
+  return TestSource([Files, Re, HasFilter, FileIdx, CatIdx, UseCatalogue,
+                     Errors](LitmusTest &Out) -> bool {
+    auto Keep = [&](const LitmusTest &Test) {
+      return !HasFilter || std::regex_search(Test.Name, *Re);
+    };
+    while (*FileIdx < Files->size()) {
+      const std::string &File = (*Files)[(*FileIdx)++];
+      auto Test = parseLitmusFile(File);
+      if (!Test) {
+        if (Errors)
+          Errors->push_back(File + ": " + Test.message());
+        continue;
+      }
+      if (!Keep(*Test))
+        continue;
+      Out = Test.take();
+      return true;
+    }
+    if (UseCatalogue) {
+      const std::vector<CatalogEntry> &Catalog = figureCatalog();
+      while (*CatIdx < Catalog.size()) {
+        const CatalogEntry &Entry = Catalog[(*CatIdx)++];
+        if (!Keep(Entry.Test))
+          continue;
+        Out = Entry.Test;
+        return true;
+      }
+    }
+    return false;
+  });
 }

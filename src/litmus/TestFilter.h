@@ -18,10 +18,18 @@
 #include "litmus/LitmusTest.h"
 #include "support/Error.h"
 
+#include <functional>
+#include <regex>
 #include <string>
 #include <vector>
 
 namespace cats {
+
+/// Compiles a campaign --filter pattern (ECMAScript; callers match
+/// partially via std::regex_search). Fails with the regex diagnostic on a
+/// malformed pattern. An empty pattern compiles to a match-everything
+/// regex, but callers usually special-case it to skip matching entirely.
+Expected<std::regex> compileFilterRegex(const std::string &Pattern);
 
 /// Returns the subset of \p Tests whose name matches \p Pattern, in the
 /// original order. Fails with the regex diagnostic on a malformed pattern;
@@ -53,6 +61,21 @@ struct CampaignTests {
 Expected<CampaignTests> loadCampaignTests(
     const std::vector<std::string> &Paths, bool UseCatalogue,
     const std::string &Filter, std::vector<LitmusTest> Extra = {});
+
+/// A pull-based litmus test source for batched campaigns: fills \p Out
+/// and returns true, or returns false at end of stream. Sources are
+/// stateful single-pass generators; SweepEngine::runStreamed drains one
+/// in batches so a corpus of thousands never materializes at once.
+using TestSource = std::function<bool(LitmusTest &Out)>;
+
+/// The streaming twin of loadCampaignTests: the same inputs (paths
+/// expanded to sorted .litmus files, then the catalogue), but each file
+/// is parsed lazily at pull time. Parse failures are skipped and, when
+/// \p Errors is non-null, appended there as they are encountered. Fails
+/// up front on a bad path or malformed \p Filter regex.
+Expected<TestSource> streamCampaignTests(
+    const std::vector<std::string> &Paths, bool UseCatalogue,
+    const std::string &Filter, std::vector<std::string> *Errors = nullptr);
 
 } // namespace cats
 

@@ -82,3 +82,18 @@ const Model &cats::modelFor(Arch A) {
   }
   return scModel();
 }
+
+Expected<std::vector<const Model *>>
+cats::resolveModels(const std::vector<std::string> &Names) {
+  using Fail = Expected<std::vector<const Model *>>;
+  if (Names.empty())
+    return allModels();
+  std::vector<const Model *> Out;
+  for (const std::string &Name : Names) {
+    const Model *M = modelByName(Name);
+    if (!M)
+      return Fail::error("unknown model '" + Name + "'");
+    Out.push_back(M);
+  }
+  return Out;
+}

@@ -15,6 +15,7 @@
 
 #include "litmus/LitmusTest.h"
 #include "model/Model.h"
+#include "support/Error.h"
 
 #include <vector>
 
@@ -25,6 +26,13 @@ const std::vector<const Model *> &allModels();
 
 /// Lookup by display name; nullptr when unknown.
 const Model *modelByName(const std::string &Name);
+
+/// Resolves a CLI --models list: an empty list means every registry
+/// model, otherwise each name goes through modelByName. Fails naming the
+/// first unknown model. The shared model-set resolver of the campaign
+/// tools.
+Expected<std::vector<const Model *>>
+resolveModels(const std::vector<std::string> &Names);
 
 /// The default model for a litmus architecture (Power for Arch::Power...).
 const Model &modelFor(Arch A);

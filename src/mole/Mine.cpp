@@ -1,0 +1,216 @@
+//===- Mine.cpp - Corpus data-mining over sweep results -------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mole/Mine.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cats;
+
+namespace {
+
+/// True when \p Token names an ordering mechanism (or a detour qualifier)
+/// in any of the suffix spellings the corpus uses: diy's canonical
+/// singular forms, the catalogue's plural shorthands ("+lwsyncs"), and
+/// the hyphenated detour chains ("fri-rfi-ctrlisb", "addr-po-detour").
+bool isMechToken(const std::string &Token) {
+  static const std::set<std::string> Vocab = {
+      "po",        "pos",       "addr",    "addrs",   "data",
+      "datas",     "ctrl",      "ctrls",   "ctrlisync", "ctrlisyncs",
+      "ctrlisb",   "ctrlisbs",  "sync",    "syncs",   "lwsync",
+      "lwsyncs",   "eieio",     "eieios",  "dmb",     "dmbs",
+      "dmb.st",    "dsb",       "dsb.st",  "isync",   "isb",
+      "mfence",    "mfences",   "fri",     "rfi",     "wsi",
+      "detour",    "bigdetour", "bis"};
+  if (Token.empty())
+    return false;
+  for (const std::string &Piece : splitString(Token, '-'))
+    if (!Vocab.count(Piece))
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::string cats::cycleFamilyOf(const std::string &TestName) {
+  std::vector<std::string> Tokens = splitString(TestName, '+');
+  size_t Keep = Tokens.size();
+  while (Keep > 1 && isMechToken(Tokens[Keep - 1]))
+    --Keep;
+  Tokens.resize(Keep);
+  return joinStrings(Tokens, "+");
+}
+
+const FamilyModelStats *
+FamilyVerdicts::forModel(const std::string &Name) const {
+  for (const FamilyModelStats &S : PerModel)
+    if (S.Model == Name)
+      return &S;
+  return nullptr;
+}
+
+bool FamilyVerdicts::observedOn(const std::string &Model) const {
+  const FamilyModelStats *S = forModel(Model);
+  return S && S->Allowed > 0;
+}
+
+bool FamilyVerdicts::forbiddenUnder(const std::string &Model) const {
+  const FamilyModelStats *S = forModel(Model);
+  return S && S->Allowed == 0 && S->Forbidden > 0;
+}
+
+const FamilyVerdicts *MineReport::family(const std::string &Name) const {
+  for (const FamilyVerdicts &F : Families)
+    if (F.Family == Name)
+      return &F;
+  return nullptr;
+}
+
+MineReport cats::mineSweepReport(const SweepReport &Report) {
+  MineReport Out;
+  std::map<std::string, FamilyVerdicts> ByFamily;
+  for (const SweepTestResult &T : Report.Tests) {
+    ++Out.CorpusTests;
+    if (!T.Error.empty()) {
+      ++Out.CorpusErrors;
+      continue;
+    }
+    // The model list: first successful job defines it (every job of one
+    // campaign judges the same set).
+    if (Out.Models.empty())
+      for (const SimulationResult &R : T.Result.PerModel)
+        Out.Models.push_back(R.ModelName);
+
+    const std::string Family = cycleFamilyOf(T.TestName);
+    FamilyVerdicts &F = ByFamily[Family];
+    if (F.Family.empty()) {
+      F.Family = Family;
+      for (const std::string &Model : Out.Models)
+        F.PerModel.push_back(FamilyModelStats{Model, 0, 0});
+    }
+    ++F.Tests;
+    F.TestNames.push_back(T.TestName);
+    for (const SimulationResult &R : T.Result.PerModel) {
+      for (FamilyModelStats &S : F.PerModel)
+        if (S.Model == R.ModelName) {
+          if (R.ConditionReachable)
+            ++S.Allowed;
+          else
+            ++S.Forbidden;
+          break;
+        }
+    }
+  }
+  for (auto &[Name, F] : ByFamily)
+    Out.Families.push_back(std::move(F));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON rendering (cats-mine-report/1, see docs/mining.md)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+JsonValue familyToJson(const FamilyVerdicts &F) {
+  JsonValue Entry = JsonValue::object();
+  Entry.set("family", F.Family);
+  Entry.set("tests", F.Tests);
+  JsonValue Models = JsonValue::array();
+  JsonValue ObservedOn = JsonValue::array();
+  JsonValue ForbiddenUnder = JsonValue::array();
+  for (const FamilyModelStats &S : F.PerModel) {
+    JsonValue M = JsonValue::object();
+    M.set("model", S.Model);
+    M.set("allowed", S.Allowed);
+    M.set("forbidden", S.Forbidden);
+    Models.push(std::move(M));
+    if (S.Allowed > 0)
+      ObservedOn.push(S.Model);
+    else if (S.Forbidden > 0)
+      ForbiddenUnder.push(S.Model);
+  }
+  Entry.set("models", std::move(Models));
+  Entry.set("observed_on", std::move(ObservedOn));
+  Entry.set("forbidden_under", std::move(ForbiddenUnder));
+  JsonValue Names = JsonValue::array();
+  for (const std::string &Name : F.TestNames)
+    Names.push(Name);
+  Entry.set("test_names", std::move(Names));
+  return Entry;
+}
+
+JsonValue staticToJson(const MoleReport &R, const MineReport &Mine) {
+  JsonValue Entry = JsonValue::object();
+  Entry.set("program", R.ProgramName);
+  JsonValue Groups = JsonValue::array();
+  for (const auto &Group : R.Groups) {
+    JsonValue G = JsonValue::array();
+    for (const std::string &Name : Group)
+      G.push(Name);
+    Groups.push(std::move(G));
+  }
+  Entry.set("groups", std::move(Groups));
+  Entry.set("cycles", static_cast<unsigned>(R.Cycles.size()));
+
+  JsonValue Patterns = JsonValue::array();
+  for (const auto &[Pattern, Count] : R.patternCounts()) {
+    JsonValue P = JsonValue::object();
+    P.set("pattern", Pattern);
+    P.set("count", Count);
+    // Cross-reference: what did the swept corpus say about this family?
+    if (const FamilyVerdicts *F = Mine.family(Pattern)) {
+      JsonValue ObservedOn = JsonValue::array();
+      JsonValue ForbiddenUnder = JsonValue::array();
+      for (const FamilyModelStats &S : F->PerModel) {
+        if (S.Allowed > 0)
+          ObservedOn.push(S.Model);
+        else if (S.Forbidden > 0)
+          ForbiddenUnder.push(S.Model);
+      }
+      P.set("corpus_tests", F->Tests);
+      P.set("observed_on", std::move(ObservedOn));
+      P.set("forbidden_under", std::move(ForbiddenUnder));
+    }
+    Patterns.push(std::move(P));
+  }
+  Entry.set("patterns", std::move(Patterns));
+
+  JsonValue Axioms = JsonValue::object();
+  for (const auto &[Class, Count] : R.axiomCounts())
+    Axioms.set(Class, Count);
+  Entry.set("axiom_counts", std::move(Axioms));
+  return Entry;
+}
+
+} // namespace
+
+JsonValue cats::mineReportToJson(const MineReport &Report) {
+  JsonValue Root = JsonValue::object();
+  Root.set("schema", "cats-mine-report/1");
+
+  JsonValue Corpus = JsonValue::object();
+  Corpus.set("tests", Report.CorpusTests);
+  Corpus.set("errors", Report.CorpusErrors);
+  JsonValue Models = JsonValue::array();
+  for (const std::string &Model : Report.Models)
+    Models.push(Model);
+  Corpus.set("models", std::move(Models));
+  JsonValue Families = JsonValue::array();
+  for (const FamilyVerdicts &F : Report.Families)
+    Families.push(familyToJson(F));
+  Corpus.set("families", std::move(Families));
+  Root.set("corpus", std::move(Corpus));
+
+  JsonValue Static = JsonValue::array();
+  for (const MoleReport &R : Report.StaticReports)
+    Static.push(staticToJson(R, Report));
+  Root.set("static", std::move(Static));
+  return Root;
+}

@@ -1,0 +1,89 @@
+//===- Mine.h - Corpus data-mining over sweep results ---------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic half of the mole story (Sec. 9): where mole/Mole.h mines
+/// *static* critical cycles out of program overapproximations, this layer
+/// mines *observed-vs-forbidden outcome patterns* out of a swept litmus
+/// corpus. Test names are folded to their cycle family (mechanism
+/// suffixes stripped: "mp+lwsync+addr" -> "mp"), and per family the
+/// Allow/Forbid verdicts of every model are aggregated — which is how the
+/// paper's "is this idiom observable on this architecture" tables read.
+///
+/// A MineReport can also carry static mole analyses; the JSON rendering
+/// (cats-mine-report/1, docs/mining.md) cross-references the two sides:
+/// each statically mined pattern links to the corpus verdicts of the same
+/// family when the corpus exercised it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_MOLE_MINE_H
+#define CATS_MOLE_MINE_H
+
+#include "mole/Mole.h"
+#include "sweep/SweepEngine.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// Strips the mechanism suffixes off a diy-style test name, leaving the
+/// cycle-family base: "mp+lwsync+addr" -> "mp", "w+rw+2w+lwsyncs" ->
+/// "w+rw+2w", "mp+dmb+fri-rfi-ctrlisb" -> "mp". Unknown trailing tokens
+/// (direction strings, family parts like "2w") are kept.
+std::string cycleFamilyOf(const std::string &TestName);
+
+/// Aggregated verdicts of one model over one family.
+struct FamilyModelStats {
+  std::string Model;
+  unsigned Allowed = 0;   ///< Tests of the family the model allows.
+  unsigned Forbidden = 0; ///< Tests of the family the model forbids.
+};
+
+/// Observed-vs-forbidden statistics for one cycle family.
+struct FamilyVerdicts {
+  std::string Family;
+  unsigned Tests = 0;
+  /// One entry per swept model, in sweep order.
+  std::vector<FamilyModelStats> PerModel;
+  /// The family's test names, in sweep order.
+  std::vector<std::string> TestNames;
+
+  const FamilyModelStats *forModel(const std::string &Name) const;
+  /// True when the model allowed at least one test of the family.
+  bool observedOn(const std::string &Model) const;
+  /// True when the model forbade every test of the family.
+  bool forbiddenUnder(const std::string &Model) const;
+};
+
+/// The full mining result: corpus statistics plus optional static
+/// analyses.
+struct MineReport {
+  unsigned CorpusTests = 0;
+  unsigned CorpusErrors = 0;
+  /// Model display names, in sweep order.
+  std::vector<std::string> Models;
+  /// Families sorted by name.
+  std::vector<FamilyVerdicts> Families;
+  /// Static mole analyses to cross-reference (may be empty).
+  std::vector<MoleReport> StaticReports;
+
+  const FamilyVerdicts *family(const std::string &Name) const;
+};
+
+/// Folds a sweep report into per-family observed-vs-forbidden statistics.
+/// Jobs that errored count toward CorpusErrors and no family.
+MineReport mineSweepReport(const SweepReport &Report);
+
+/// Serializes to the cats-mine-report/1 schema (docs/mining.md). The
+/// rendering is deterministic.
+JsonValue mineReportToJson(const MineReport &Report);
+
+} // namespace cats
+
+#endif // CATS_MOLE_MINE_H

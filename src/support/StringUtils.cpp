@@ -7,8 +7,11 @@
 #include "support/StringUtils.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 using namespace cats;
 
@@ -25,6 +28,17 @@ std::vector<std::string> cats::splitString(const std::string &Text, char Sep) {
   }
   Parts.push_back(Current);
   return Parts;
+}
+
+std::vector<std::string>
+cats::splitTrimmedNonEmpty(const std::string &Text, char Sep) {
+  std::vector<std::string> Out;
+  for (const std::string &Field : splitString(Text, Sep)) {
+    std::string Trimmed = trimString(Field);
+    if (!Trimmed.empty())
+      Out.push_back(std::move(Trimmed));
+  }
+  return Out;
 }
 
 std::vector<std::string> cats::splitWhitespace(const std::string &Text) {
@@ -103,4 +117,24 @@ std::string cats::padLeft(const std::string &Text, unsigned Width) {
   if (Text.size() >= Width)
     return Text;
   return std::string(Width - Text.size(), ' ') + Text;
+}
+
+bool cats::parseUnsignedArg(const char *Text, unsigned long long &Out) {
+  // Reject everything strtoull would silently tolerate: leading
+  // whitespace, signs, and out-of-range values (ERANGE saturation).
+  if (!Text || !std::isdigit(static_cast<unsigned char>(*Text)))
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Text, &End, 10);
+  return End && *End == '\0' && errno != ERANGE;
+}
+
+bool cats::parseUnsignedArg(const char *Text, unsigned &Out) {
+  unsigned long long Wide = 0;
+  if (!parseUnsignedArg(Text, Wide) ||
+      Wide > std::numeric_limits<unsigned>::max())
+    return false;
+  Out = static_cast<unsigned>(Wide);
+  return true;
 }

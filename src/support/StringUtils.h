@@ -21,6 +21,11 @@ namespace cats {
 /// Splits \p Text on character \p Sep; empty fields are kept.
 std::vector<std::string> splitString(const std::string &Text, char Sep);
 
+/// Splits on \p Sep, trims each field, and drops the empty ones — the
+/// shape every comma-separated CLI list flag (--models A,B,C) wants.
+std::vector<std::string> splitTrimmedNonEmpty(const std::string &Text,
+                                              char Sep);
+
 /// Splits \p Text on any whitespace; empty fields are dropped.
 std::vector<std::string> splitWhitespace(const std::string &Text);
 
@@ -46,6 +51,14 @@ std::string padRight(const std::string &Text, unsigned Width);
 
 /// Pads \p Text on the left to \p Width columns (right-aligned).
 std::string padLeft(const std::string &Text, unsigned Width);
+
+/// Parses the whole of \p Text as an unsigned decimal integer — no sign,
+/// no whitespace, no trailing characters, and no overflow. The shared
+/// flag-value parser of the CLIs.
+bool parseUnsignedArg(const char *Text, unsigned long long &Out);
+
+/// As above, additionally rejecting values that do not fit an unsigned.
+bool parseUnsignedArg(const char *Text, unsigned &Out);
 
 } // namespace cats
 

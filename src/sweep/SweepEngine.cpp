@@ -98,6 +98,38 @@ SweepReport SweepEngine::run(const std::vector<SweepJob> &Jobs) const {
   return Report;
 }
 
+SweepReport
+SweepEngine::runStreamed(const TestSource &Source,
+                         const std::vector<const Model *> &Models,
+                         unsigned BatchSize) const {
+  if (BatchSize == 0)
+    BatchSize = 1;
+  SweepReport Report;
+  // Jobs reports the workers actually used: the widest batch decides
+  // (a drained source may never fill a batch up to the worker count).
+  Report.Jobs = 1;
+
+  const auto Start = std::chrono::steady_clock::now();
+  bool More = true;
+  while (More) {
+    std::vector<SweepJob> Batch;
+    Batch.reserve(BatchSize);
+    LitmusTest Test;
+    while (Batch.size() < BatchSize && (More = Source(Test)))
+      Batch.push_back(SweepJob{std::move(Test), Models});
+    if (Batch.empty())
+      break;
+    SweepReport Part = run(Batch);
+    Report.Jobs = std::max(Report.Jobs, Part.Jobs);
+    for (SweepTestResult &T : Part.Tests)
+      Report.Tests.push_back(std::move(T));
+  }
+  Report.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Report;
+}
+
 std::vector<SweepJob> cats::makeJobs(const std::vector<LitmusTest> &Tests,
                                      const std::vector<const Model *> &Models) {
   std::vector<SweepJob> Jobs;

@@ -23,6 +23,7 @@
 
 #include "herd/Simulator.h"
 #include "litmus/LitmusTest.h"
+#include "litmus/TestFilter.h"
 #include "model/Model.h"
 #include "sweep/Json.h"
 
@@ -81,6 +82,16 @@ public:
   /// Runs every job and returns the report. Thread-safe for concurrent
   /// calls (the engine holds no mutable state).
   SweepReport run(const std::vector<SweepJob> &Jobs) const;
+
+  /// Streamed campaign: pulls up to \p BatchSize tests from \p Source,
+  /// judges the batch under \p Models as one run() pass, appends the
+  /// results, and repeats until the source drains. Results keep source
+  /// order; peak memory is one batch of tests plus the accumulated
+  /// (test-free) results — this is how the diy enumeration feeds
+  /// thousands of generated scenarios through the engine.
+  SweepReport runStreamed(const TestSource &Source,
+                          const std::vector<const Model *> &Models,
+                          unsigned BatchSize = 64) const;
 
 private:
   unsigned Workers;

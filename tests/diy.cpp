@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 using namespace cats;
@@ -216,10 +217,19 @@ TEST(Diy, CycleNameRoundTripsOnClassicFamilies) {
   }
 }
 
-TEST(Diy, CycleNameKeepsMechanismSuffixOrder) {
-  // Mechanism suffixes follow the cycle's po-edge order for each family.
-  for (const char *Family : {"mp", "sb", "lb", "wrc", "isa2", "2+2w",
-                             "rwc", "r", "s", "iriw"}) {
+TEST(Diy, CycleNameCanonicalSuffixOrder) {
+  // Mechanism suffixes follow the family's conventional rotation. For
+  // rotation-asymmetric families the first po edge of the hand-coded
+  // cycle keeps its leading position; rotation-symmetric families (sb,
+  // lb, 2+2w, iriw) canonicalize to the lexicographically-least rotation,
+  // so "lwsync" sorts ahead of "sync" regardless of assignment order.
+  std::map<std::string, std::string> Expected = {
+      {"mp", "mp+sync+lwsync"},       {"wrc", "wrc+sync+lwsync"},
+      {"rwc", "rwc+sync+lwsync"},     {"r", "r+sync+lwsync"},
+      {"s", "s+sync+lwsync"},         {"sb", "sb+lwsync+sync"},
+      {"lb", "lb+lwsync+sync"},       {"2+2w", "2+2w+lwsync+sync"},
+      {"iriw", "iriw+lwsync+sync"}};
+  for (const auto &[Family, Name] : Expected) {
     DiyCycle Cycle = familyCycle(Family);
     unsigned PoEdges = 0;
     for (DiyEdge &E : Cycle)
@@ -227,10 +237,34 @@ TEST(Diy, CycleNameKeepsMechanismSuffixOrder) {
         E.Mech = PoMech::Fence;
         E.FenceName = PoEdges++ ? "lwsync" : "sync";
       }
-    std::string Name = cycleName(Cycle);
-    EXPECT_EQ(Name.rfind(std::string(Family) + "+sync", 0), 0u) << Name;
-    EXPECT_EQ(Name.find("sync") < Name.find("lwsync"), PoEdges > 1)
-        << Name;
+    EXPECT_EQ(cycleName(Cycle), Name) << Family;
+  }
+}
+
+TEST(Diy, CycleNameIsRotationInvariantWithMechanisms) {
+  // The canonicalization contract: every rotation of a cycle — including
+  // mechanism-carrying ones — maps to the same canonical cycle and name.
+  for (const auto &[Family, Base] : classicFamilies()) {
+    DiyCycle Cycle = Base;
+    unsigned PoEdges = 0;
+    for (DiyEdge &E : Cycle)
+      if (E.Kind == EdgeKind::Po) {
+        E.Mech = PoEdges % 2 ? PoMech::Fence : PoMech::None;
+        E.FenceName = PoEdges % 2 ? "lwsync" : "";
+        ++PoEdges;
+      }
+    const std::string Name = cycleName(Cycle);
+    const DiyCycle Canonical = canonicalCycle(Cycle);
+    DiyCycle Rotated = Cycle;
+    for (size_t R = 0; R < Cycle.size(); ++R) {
+      EXPECT_EQ(cycleName(Rotated), Name) << Family << " rotation " << R;
+      const DiyCycle RotCanonical = canonicalCycle(Rotated);
+      ASSERT_EQ(RotCanonical.size(), Canonical.size());
+      for (size_t I = 0; I < Canonical.size(); ++I)
+        EXPECT_EQ(RotCanonical[I].toString(), Canonical[I].toString())
+            << Family << " rotation " << R << " edge " << I;
+      std::rotate(Rotated.begin(), Rotated.begin() + 1, Rotated.end());
+    }
   }
 }
 
@@ -381,6 +415,36 @@ TEST(DiyInternal, CoherenceRespectsRfThenFr) {
     return true;
   });
   EXPECT_TRUE(Witness) << Test->toString();
+}
+
+TEST(DiyInternal, DetourChainsKeepNamesInjective) {
+  // An rfi detour and a fri detour share per-thread direction strings
+  // ("wrw" threads both ways) but are different cycles; the suffix
+  // chains spell the internal edges, so the names differ.
+  DiyCycle RfiDetour = {DiyEdge::rfi(), DiyEdge::po(Dir::R, Dir::W),
+                        DiyEdge::wse(), DiyEdge::po(Dir::W, Dir::W),
+                        DiyEdge::wse()};
+  DiyCycle FriDetour = {DiyEdge::po(Dir::W, Dir::R), DiyEdge::fri(),
+                        DiyEdge::wse(), DiyEdge::po(Dir::W, Dir::W),
+                        DiyEdge::wse()};
+  const std::string RfiName = cycleName(RfiDetour);
+  const std::string FriName = cycleName(FriDetour);
+  EXPECT_NE(RfiName, FriName);
+  EXPECT_NE(RfiName.find("rfi"), std::string::npos) << RfiName;
+  EXPECT_NE(FriName.find("fri"), std::string::npos) << FriName;
+  // The paper's chain notation: a thread's internal edges and its po
+  // mechanism hyphen-join into one suffix.
+  DiyCycle Fig32 = {
+      DiyEdge::po(Dir::W, Dir::W, PoMech::Fence, "dmb"),
+      DiyEdge::rfe(),
+      DiyEdge::fri(),
+      DiyEdge::rfi(),
+      DiyEdge::po(Dir::R, Dir::R, PoMech::CtrlCfence),
+      DiyEdge::fre(),
+  };
+  EXPECT_NE(cycleName(Fig32, Arch::ARM).find("fri-rfi-ctrlisb"),
+            std::string::npos)
+      << cycleName(Fig32, Arch::ARM);
 }
 
 TEST(DiyInternal, SystematicNamesCountInternalAccesses) {

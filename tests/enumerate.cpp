@@ -1,0 +1,293 @@
+//===- enumerate.cpp - Tests for exhaustive cycle enumeration -------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diy/Enumerate.h"
+#include "herd/Simulator.h"
+#include "litmus/Catalog.h"
+#include "model/Registry.h"
+#include "sweep/SweepEngine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cats;
+
+namespace {
+
+/// Plain-po options: no fences, no dependencies — the structural kernel
+/// whose cycle counts have closed forms.
+EnumerateOptions plainOptions(unsigned MaxEdges) {
+  EnumerateOptions Opts;
+  Opts.Target = Arch::Power;
+  Opts.MaxEdges = MaxEdges;
+  Opts.Dependencies = false;
+  Opts.Fences = false;
+  return Opts;
+}
+
+std::set<std::string> namesOf(const std::vector<EnumeratedCycle> &Cycles) {
+  std::set<std::string> Names;
+  for (const EnumeratedCycle &C : Cycles)
+    Names.insert(C.Name);
+  return Names;
+}
+
+} // namespace
+
+TEST(Enumerate, PlainSizeFourIsTheClassicKernel) {
+  // Closed form: 4-edge cycles are [po,com,po,com] with direction tuples
+  // (a,b,c,d) such that the two communications exist ((b,c) and (d,a)
+  // cannot both be reads): 16 - 4 - 4 + 1 = 9 tuples, which the rotation
+  // by two folds into 6 canonical cycles — exactly the two-thread
+  // classics of Tab. III.
+  auto Cycles = enumerateAll(plainOptions(4));
+  EXPECT_EQ(Cycles.size(), 6u);
+  EXPECT_EQ(namesOf(Cycles),
+            (std::set<std::string>{"mp", "sb", "lb", "2+2w", "r", "s"}));
+}
+
+TEST(Enumerate, PlainSizeFiveClosedFormCount) {
+  // 5-edge cycles are [po,com,po,com,com] (one single-access thread):
+  // inclusion-exclusion over the three communication constraints gives
+  // 32 - 24 + 8 - 1 = 15, each with a unique boundary rotation, so 15
+  // canonical cycles on top of the 6 four-edge ones.
+  auto Cycles = enumerateAll(plainOptions(5));
+  EXPECT_EQ(Cycles.size(), 21u);
+  std::set<std::string> Names = namesOf(Cycles);
+  EXPECT_EQ(Names.size(), 21u);
+  // The three-thread classics are in the five-edge slice.
+  EXPECT_TRUE(Names.count("wrc"));
+  EXPECT_TRUE(Names.count("rwc"));
+  EXPECT_TRUE(Names.count("w+rw+2w"));
+}
+
+TEST(Enumerate, PlainSizeSixClosedFormCount) {
+  // 6-edge cycles split by po count: three po edges ([po,com]^3: 27
+  // direction tuples, rotation by two fixes 3, so 8 orbits + 3 = 11) and
+  // two po edges in the [po,com,com,po,com,com] shape (25 tuples, 5
+  // fixed under the half-rotation: 15). The [po,com,po,com,com,com]
+  // shape puts four accesses on one location and is not critical. Total:
+  // 21 + 11 + 15 = 47.
+  auto Cycles = enumerateAll(plainOptions(6));
+  EXPECT_EQ(Cycles.size(), 47u);
+  std::set<std::string> Names = namesOf(Cycles);
+  EXPECT_EQ(Names.size(), 47u);
+  EXPECT_TRUE(Names.count("isa2"));
+  EXPECT_TRUE(Names.count("iriw"));
+}
+
+TEST(Enumerate, CanonicalNamesAreUniqueAndRotationInvariant) {
+  EnumerateOptions Opts;
+  Opts.Target = Arch::Power;
+  Opts.MaxEdges = 5;
+  auto Cycles = enumerateAll(Opts);
+  std::set<std::string> Names;
+  for (const EnumeratedCycle &C : Cycles) {
+    EXPECT_TRUE(Names.insert(C.Name).second) << "duplicate " << C.Name;
+    // The emitted cycle is its own canonical rotation, and every rotation
+    // names back to it.
+    DiyCycle Rotated = C.Cycle;
+    for (size_t R = 0; R < Rotated.size(); ++R) {
+      EXPECT_EQ(cycleName(Rotated), C.Name) << "rotation " << R;
+      std::rotate(Rotated.begin(), Rotated.begin() + 1, Rotated.end());
+    }
+  }
+}
+
+TEST(Enumerate, PowerSizeSixMeetsTheAcceptanceBar) {
+  // The acceptance criterion: the full Power vocabulary at size 6 yields
+  // at least 500 canonical cycles with no duplicate names.
+  EnumerateOptions Opts;
+  Opts.Target = Arch::Power;
+  Opts.MaxEdges = 6;
+  uint64_t Count = 0;
+  std::set<std::string> Names;
+  enumerateCycles(Opts, [&](const EnumeratedCycle &C) {
+    ++Count;
+    EXPECT_TRUE(Names.insert(C.Name).second) << "duplicate " << C.Name;
+    return true;
+  });
+  EXPECT_GE(Count, 500u);
+  EXPECT_EQ(Names.size(), Count);
+}
+
+TEST(Enumerate, DeterministicAcrossRuns) {
+  EnumerateOptions Opts;
+  Opts.Target = Arch::ARM;
+  Opts.MaxEdges = 5;
+  auto First = enumerateAll(Opts);
+  auto Second = enumerateAll(Opts);
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I < First.size(); ++I)
+    EXPECT_EQ(First[I].Name, Second[I].Name);
+}
+
+TEST(Enumerate, LimitIsAPrefixOfTheFullEnumeration) {
+  EnumerateOptions Opts;
+  Opts.Target = Arch::Power;
+  Opts.MaxEdges = 5;
+  auto Full = enumerateAll(Opts);
+  Opts.Limit = 10;
+  auto Limited = enumerateAll(Opts);
+  ASSERT_EQ(Limited.size(), 10u);
+  for (size_t I = 0; I < Limited.size(); ++I)
+    EXPECT_EQ(Limited[I].Name, Full[I].Name);
+}
+
+TEST(Enumerate, InternalComEdgesExtendTheVocabulary) {
+  // With rfi/fri/wsi enabled, the Fig. 32 fri-rfi detour shape appears;
+  // names stay unique by construction.
+  EnumerateOptions Opts;
+  Opts.Target = Arch::ARM;
+  Opts.MaxEdges = 6;
+  Opts.Dependencies = false;
+  Opts.Fences = false;
+  auto Plain = enumerateAll(Opts);
+  Opts.InternalCom = true;
+  auto Extended = enumerateAll(Opts);
+  EXPECT_GT(Extended.size(), Plain.size());
+  std::set<std::string> Names = namesOf(Extended);
+  EXPECT_EQ(Names.size(), Extended.size());
+}
+
+TEST(Enumerate, PerThreadCapsHoldOnEveryRotation) {
+  // Criticality must not depend on which rotation the DFS happened to
+  // close: walking any emitted cycle from a thread boundary, no thread
+  // exceeds the cap (2 accesses external-only, 4 with internal detours).
+  for (bool Internal : {false, true}) {
+    EnumerateOptions Opts;
+    Opts.Target = Arch::ARM;
+    Opts.MaxEdges = 6;
+    Opts.Dependencies = false;
+    Opts.Fences = false;
+    Opts.InternalCom = Internal;
+    const unsigned Cap = Internal ? 4 : 2;
+    enumerateCycles(Opts, [&](const EnumeratedCycle &C) {
+      // The canonical rotation starts on a thread boundary; count the
+      // run lengths between external edges, including the wrap.
+      unsigned Run = 0;
+      for (const DiyEdge &E : C.Cycle) {
+        ++Run;
+        if (isExternalEdge(E.Kind)) {
+          EXPECT_LE(Run, Cap) << C.Name;
+          Run = 0;
+        }
+      }
+      EXPECT_EQ(Run, 0u) << C.Name
+                         << " canonical rotation must end on a boundary";
+      return true;
+    });
+  }
+}
+
+TEST(Enumerate, SynthesisSucceedsOnTheSizeFourVocabulary) {
+  // Every enumerated size-4 Power cycle synthesizes, the test validates,
+  // and the name round-trips.
+  EnumerateOptions Opts;
+  Opts.Target = Arch::Power;
+  Opts.MaxEdges = 4;
+  auto Cycles = enumerateAll(Opts);
+  EXPECT_GT(Cycles.size(), 100u);
+  for (const EnumeratedCycle &C : Cycles) {
+    auto Test = synthesizeTest(C.Cycle, Arch::Power);
+    ASSERT_TRUE(static_cast<bool>(Test)) << C.Name << ": " << Test.message();
+    EXPECT_EQ(Test->Name, C.Name);
+    EXPECT_EQ(Test->validate(), "") << C.Name;
+  }
+}
+
+TEST(Enumerate, DiySourceStreamsSynthesizedTests) {
+  EnumerateOptions Opts;
+  Opts.Target = Arch::Power;
+  Opts.MaxEdges = 4;
+  Opts.Dependencies = false;
+  Opts.Fences = false;
+  std::vector<std::string> Errors;
+  auto Source = makeDiyTestSource(Opts, "", &Errors);
+  ASSERT_TRUE(static_cast<bool>(Source)) << Source.message();
+  std::vector<std::string> Names;
+  LitmusTest Test;
+  while ((*Source)(Test))
+    Names.push_back(Test.Name);
+  EXPECT_EQ(Names.size(), 6u);
+  EXPECT_TRUE(Errors.empty());
+  // A filtered source yields the matching subset.
+  auto Filtered = makeDiyTestSource(Opts, "^(mp|sb)$");
+  ASSERT_TRUE(static_cast<bool>(Filtered));
+  unsigned Matched = 0;
+  while ((*Filtered)(Test))
+    ++Matched;
+  EXPECT_EQ(Matched, 2u);
+  EXPECT_FALSE(static_cast<bool>(makeDiyTestSource(Opts, "(unclosed")));
+}
+
+TEST(Enumerate, StreamedSweepMatchesMaterializedSweep) {
+  // runStreamed in small batches produces the same results as one
+  // materialized run().
+  EnumerateOptions Opts;
+  Opts.Target = Arch::Power;
+  Opts.MaxEdges = 5;
+  Opts.Dependencies = false;
+  Opts.Fences = false;
+  std::vector<const Model *> Models = {modelByName("SC"),
+                                       modelByName("Power")};
+  std::vector<LitmusTest> Tests;
+  {
+    auto Source = makeDiyTestSource(Opts);
+    ASSERT_TRUE(static_cast<bool>(Source));
+    LitmusTest Test;
+    while ((*Source)(Test))
+      Tests.push_back(Test);
+  }
+  ASSERT_EQ(Tests.size(), 21u);
+
+  SweepEngine Engine(SweepOptions{2});
+  SweepReport Materialized = Engine.run(makeJobs(Tests, Models));
+  auto Source = makeDiyTestSource(Opts);
+  ASSERT_TRUE(static_cast<bool>(Source));
+  SweepReport Streamed = Engine.runStreamed(*Source, Models, 4);
+
+  ASSERT_EQ(Streamed.Tests.size(), Materialized.Tests.size());
+  for (size_t I = 0; I < Streamed.Tests.size(); ++I) {
+    EXPECT_EQ(Streamed.Tests[I].TestName, Materialized.Tests[I].TestName);
+    ASSERT_EQ(Streamed.Tests[I].Result.PerModel.size(),
+              Materialized.Tests[I].Result.PerModel.size());
+    for (size_t M = 0; M < Streamed.Tests[I].Result.PerModel.size(); ++M)
+      EXPECT_EQ(Streamed.Tests[I].Result.PerModel[M].ConditionReachable,
+                Materialized.Tests[I].Result.PerModel[M].ConditionReachable);
+  }
+}
+
+TEST(Enumerate, RoundTripAgreesWithTheHandWrittenCatalogue) {
+  // Where an enumerated test's canonical name matches a catalogue entry,
+  // the swept verdicts must reproduce the documented ones.
+  EnumerateOptions Opts;
+  Opts.Target = Arch::Power;
+  Opts.MaxEdges = 4;
+  auto Source = makeDiyTestSource(Opts);
+  ASSERT_TRUE(static_cast<bool>(Source));
+  SweepEngine Engine(SweepOptions{2});
+  SweepReport Report = Engine.runStreamed(*Source, allModels(), 32);
+
+  unsigned Overlap = 0;
+  for (const SweepTestResult &T : Report.Tests) {
+    const CatalogEntry *Entry = catalogEntry(T.TestName);
+    if (!Entry)
+      continue;
+    ++Overlap;
+    for (const auto &[Model, Allowed] : Entry->Expected) {
+      const SimulationResult *R = T.Result.forModel(Model);
+      if (!R)
+        continue;
+      EXPECT_EQ(R->ConditionReachable, Allowed)
+          << T.TestName << " under " << Model;
+    }
+  }
+  // mp, sb, lb, s, 2+2w and the fenced variants the catalogue names
+  // canonically (e.g. mp+lwsync+addr) must overlap.
+  EXPECT_GE(Overlap, 5u);
+}

@@ -1,0 +1,293 @@
+//===- cats_mine.cpp - Data-mining CLI over corpora and programs ----------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mining CLI fronting src/mole: sweep a litmus corpus — on-disk
+/// files, the figure catalogue, and/or a diy-enumerated slice — under a
+/// model set and aggregate the observed-vs-forbidden verdicts per cycle
+/// family; optionally mine static critical cycles out of .mole programs
+/// and cross-reference the two. Emits the cats-mine-report/1 JSON schema
+/// (docs/mining.md).
+///
+///   cats_mine litmus/                        # mine the on-disk corpus
+///   cats_mine --diy power --size 4 --limit 200 --mole rcu
+///   cats_mine --catalogue --models SC,Power --json mine.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "diy/Enumerate.h"
+#include "model/Registry.h"
+#include "mole/Mine.h"
+#include "mole/MoleParser.h"
+#include "support/StringUtils.h"
+#include "sweep/SweepEngine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace cats;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [<file.litmus>|<dir>]...\n"
+      "\n"
+      "Mines observed-vs-forbidden outcome patterns: sweeps a corpus\n"
+      "under a model set, folds test names to their cycle family, and\n"
+      "aggregates the per-model verdicts. Static critical cycles mined\n"
+      "from .mole programs are cross-referenced against the corpus.\n"
+      "\n"
+      "corpus inputs: .litmus files, directories, --catalogue, and/or a\n"
+      "--diy enumerated slice. With no corpus input and no --mole, the\n"
+      "catalogue is mined.\n"
+      "\n"
+      "options:\n"
+      "  --models A,B,C  comma-separated model names (default: all)\n"
+      "  --jobs N        sweep worker threads (default: hardware)\n"
+      "  --batch N       streaming batch size (default: 64)\n"
+      "  --filter REGEX  keep tests whose name matches\n"
+      "  --catalogue     add the built-in figure catalogue\n"
+      "  --diy ARCH      add a diy-enumerated slice for ARCH\n"
+      "  --size N        max cycle size for --diy (default: 4)\n"
+      "  --limit N       cap the --diy slice (default: 500)\n"
+      "  --internal      include rfi/fri/wsi edges in --diy\n"
+      "  --mole X        static-mine X: a .mole file or one of\n"
+      "                  rcu | postgres | apache (repeatable)\n"
+      "  --json FILE     write the cats-mine-report/1 JSON report\n"
+      "  --quiet         suppress the family table\n"
+      "  --help          this message\n",
+      Argv0);
+  return 2;
+}
+
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Jobs = 0, Batch = 64;
+  bool UseCatalogue = false, Quiet = false;
+  std::string Filter, JsonPath, DiyArch;
+  EnumerateOptions DiyOpts;
+  DiyOpts.MaxEdges = 4;
+  DiyOpts.Limit = 500;
+  std::vector<std::string> ModelNames, Paths, MolePrograms;
+
+  for (int I = 1; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    auto NeedsValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "cats_mine: %s needs a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    unsigned long long N = 0;
+    unsigned U = 0;
+    if (Arg == "--help" || Arg == "-h")
+      return usage(argv[0]);
+    if (Arg == "--models") {
+      const char *V = NeedsValue("--models");
+      if (!V)
+        return 2;
+      for (std::string &Name : splitTrimmedNonEmpty(V, ','))
+        ModelNames.push_back(std::move(Name));
+    } else if (Arg == "--jobs") {
+      const char *V = NeedsValue("--jobs");
+      if (!V || !parseUnsignedArg(V, U) || U == 0) {
+        std::fprintf(stderr, "cats_mine: bad --jobs value\n");
+        return 2;
+      }
+      Jobs = U;
+    } else if (Arg == "--batch") {
+      const char *V = NeedsValue("--batch");
+      if (!V || !parseUnsignedArg(V, U) || U == 0) {
+        std::fprintf(stderr, "cats_mine: bad --batch value\n");
+        return 2;
+      }
+      Batch = U;
+    } else if (Arg == "--filter") {
+      const char *V = NeedsValue("--filter");
+      if (!V)
+        return 2;
+      Filter = V;
+    } else if (Arg == "--catalogue" || Arg == "--catalog") {
+      UseCatalogue = true;
+    } else if (Arg == "--diy") {
+      const char *V = NeedsValue("--diy");
+      if (!V)
+        return 2;
+      DiyArch = V;
+    } else if (Arg == "--size") {
+      const char *V = NeedsValue("--size");
+      if (!V || !parseUnsignedArg(V, U) || U == 0) {
+        std::fprintf(stderr, "cats_mine: bad --size value\n");
+        return 2;
+      }
+      DiyOpts.MaxEdges = U;
+    } else if (Arg == "--limit") {
+      const char *V = NeedsValue("--limit");
+      if (!V || !parseUnsignedArg(V, N)) {
+        std::fprintf(stderr, "cats_mine: bad --limit value\n");
+        return 2;
+      }
+      DiyOpts.Limit = N;
+    } else if (Arg == "--internal") {
+      DiyOpts.InternalCom = true;
+    } else if (Arg == "--mole") {
+      const char *V = NeedsValue("--mole");
+      if (!V)
+        return 2;
+      MolePrograms.push_back(V);
+    } else if (Arg == "--json") {
+      const char *V = NeedsValue("--json");
+      if (!V)
+        return 2;
+      JsonPath = V;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "cats_mine: unknown option %s\n", Arg.c_str());
+      return usage(argv[0]);
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+
+  // Resolve the model set.
+  auto Resolved = resolveModels(ModelNames);
+  if (!Resolved) {
+    std::fprintf(stderr, "cats_mine: %s\n", Resolved.message().c_str());
+    return 2;
+  }
+  std::vector<const Model *> Models = Resolved.take();
+
+  // Resolve the --mole programs up front: a typo must fail before the
+  // (potentially long) corpus sweep, not after it.
+  std::vector<MoleProgram> Programs;
+  for (const std::string &Name : MolePrograms) {
+    if (Name == "rcu") {
+      Programs.push_back(rcuProgram());
+    } else if (Name == "postgres") {
+      Programs.push_back(postgresProgram());
+    } else if (Name == "apache") {
+      Programs.push_back(apacheProgram());
+    } else {
+      auto Parsed = parseMoleFile(Name);
+      if (!Parsed) {
+        std::fprintf(stderr, "cats_mine: %s\n", Parsed.message().c_str());
+        return 2;
+      }
+      Programs.push_back(Parsed.take());
+    }
+  }
+
+  const bool HasCorpus =
+      !Paths.empty() || UseCatalogue || !DiyArch.empty();
+  if (!HasCorpus && MolePrograms.empty())
+    UseCatalogue = true;
+
+  // Sweep the corpus: files/catalogue first, then the diy slice, both
+  // streamed in batches.
+  SweepEngine Engine(SweepOptions{Jobs});
+  SweepReport Report;
+  std::vector<std::string> LoadErrors;
+  auto SweepInto = [&](const TestSource &Source) {
+    SweepReport Part = Engine.runStreamed(Source, Models, Batch);
+    for (SweepTestResult &T : Part.Tests)
+      Report.Tests.push_back(std::move(T));
+    Report.Jobs = std::max(Report.Jobs, Part.Jobs);
+    Report.WallSeconds += Part.WallSeconds;
+  };
+  if (!Paths.empty() || UseCatalogue) {
+    auto Source =
+        streamCampaignTests(Paths, UseCatalogue, Filter, &LoadErrors);
+    if (!Source) {
+      std::fprintf(stderr, "cats_mine: %s\n", Source.message().c_str());
+      return 2;
+    }
+    SweepInto(*Source);
+  }
+  if (!DiyArch.empty()) {
+    if (!parseArch(DiyArch, DiyOpts.Target)) {
+      std::fprintf(stderr, "cats_mine: unknown architecture '%s'\n",
+                   DiyArch.c_str());
+      return 2;
+    }
+    auto Source = makeDiyTestSource(DiyOpts, Filter, &LoadErrors);
+    if (!Source) {
+      std::fprintf(stderr, "cats_mine: %s\n", Source.message().c_str());
+      return 2;
+    }
+    SweepInto(*Source);
+  }
+  for (const std::string &Problem : LoadErrors)
+    std::fprintf(stderr, "cats_mine: %s\n", Problem.c_str());
+
+  // Fold the sweep into per-family statistics.
+  MineReport Mined = mineSweepReport(Report);
+
+  // Static mole analyses (programs were resolved before the sweep).
+  for (const MoleProgram &Program : Programs)
+    Mined.StaticReports.push_back(analyzeProgram(Program));
+
+  // The family table.
+  if (!Quiet) {
+    if (!Mined.Families.empty()) {
+      std::printf("%-16s %6s", "family", "tests");
+      for (const std::string &Model : Mined.Models)
+        std::printf(" %16s", Model.c_str());
+      std::printf("\n");
+      for (const FamilyVerdicts &F : Mined.Families) {
+        std::printf("%-16s %6u", F.Family.c_str(), F.Tests);
+        for (const FamilyModelStats &S : F.PerModel)
+          std::printf(" %8u/%-7u", S.Allowed, S.Forbidden);
+        std::printf("\n");
+      }
+      std::printf("(columns are allowed/forbidden test counts)\n");
+    }
+    for (const MoleReport &Static : Mined.StaticReports) {
+      std::printf("\nstatic %s: %zu group(s), %zu cycle(s)\n",
+                  Static.ProgramName.c_str(), Static.Groups.size(),
+                  Static.Cycles.size());
+      for (const auto &[Pattern, Count] : Static.patternCounts()) {
+        std::printf("  %-14s %3u", Pattern.c_str(), Count);
+        if (const FamilyVerdicts *F = Mined.family(Pattern)) {
+          std::printf("  corpus:");
+          for (const FamilyModelStats &S : F->PerModel)
+            if (S.Allowed > 0)
+              std::printf(" %s", S.Model.c_str());
+          std::printf(" observe it");
+        }
+        std::printf("\n");
+      }
+    }
+    std::printf("\n%u corpus test(s), %zu model(s), %zu famil(ies), "
+                "%zu static program(s)\n",
+                Mined.CorpusTests, Mined.Models.size(),
+                Mined.Families.size(), Mined.StaticReports.size());
+  }
+
+  // JSON report.
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "cats_mine: cannot write %s\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    Out << mineReportToJson(Mined).dump();
+    if (!Quiet)
+      std::printf("wrote %s\n", JsonPath.c_str());
+  }
+
+  return (!LoadErrors.empty() || Mined.CorpusErrors) ? 1 : 0;
+}

@@ -82,22 +82,19 @@ int main(int argc, char **argv) {
       return usage(argv[0]);
     if (Arg == "--jobs") {
       const char *V = NeedsValue("--jobs");
-      if (!V)
-        return 2;
-      char *End = nullptr;
-      long N = std::strtol(V, &End, 10);
-      if (*End || N < 1) {
-        std::fprintf(stderr, "cats_sweep: bad --jobs value '%s'\n", V);
+      unsigned U = 0;
+      if (!V || !parseUnsignedArg(V, U) || U == 0) {
+        std::fprintf(stderr, "cats_sweep: bad --jobs value '%s'\n",
+                     V ? V : "");
         return 2;
       }
-      Jobs = static_cast<unsigned>(N);
+      Jobs = U;
     } else if (Arg == "--models") {
       const char *V = NeedsValue("--models");
       if (!V)
         return 2;
-      for (const std::string &Name : splitString(V, ','))
-        if (!trimString(Name).empty())
-          ModelNames.push_back(trimString(Name));
+      for (std::string &Name : splitTrimmedNonEmpty(V, ','))
+        ModelNames.push_back(std::move(Name));
     } else if (Arg == "--filter") {
       const char *V = NeedsValue("--filter");
       if (!V)
@@ -123,20 +120,12 @@ int main(int argc, char **argv) {
   }
 
   // Resolve the model set.
-  std::vector<const Model *> Models;
-  if (ModelNames.empty()) {
-    Models = allModels();
-  } else {
-    for (const std::string &Name : ModelNames) {
-      const Model *M = modelByName(Name);
-      if (!M) {
-        std::fprintf(stderr, "cats_sweep: unknown model '%s'\n",
-                     Name.c_str());
-        return 2;
-      }
-      Models.push_back(M);
-    }
+  auto Resolved = resolveModels(ModelNames);
+  if (!Resolved) {
+    std::fprintf(stderr, "cats_sweep: %s\n", Resolved.message().c_str());
+    return 2;
   }
+  std::vector<const Model *> Models = Resolved.take();
 
   // Gather the tests: files first (sorted per directory), catalogue after.
   if (Paths.empty() && !UseCatalogue)
