@@ -1,0 +1,311 @@
+//===- bench_run.cpp - Native harness throughput vs replay floor ----------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark behind BENCH_run.json and the CI perf gate for the run
+/// subsystem: execute the classic two-thread families (mp, sb, lb)
+/// natively and compare —
+///
+///   replay:  the same lowered code run single-threaded (init, threads in
+///            order, collect) — the interpreter's cost floor per outcome;
+///   harness: the full RunEngine (batched instances, barriers, seeded
+///            shuffle, affinity, histogram folding).
+///
+/// The gated metric is the normalized harness cost — harness wall time
+/// over replay wall time for the same iteration count, measured in the
+/// same run so machine speed cancels. The gate also re-checks that the
+/// schedule is deterministic per seed and that the run is sound against
+/// the host reference model.
+///
+///   bench_run                        print the table
+///   bench_run --out FILE             write the cats-bench-run/1 snapshot
+///   bench_run --check FILE           fail (exit 1) when the normalized
+///                                    cost regressed more than --tolerance
+///                                    (default 0.25) vs the baseline, the
+///                                    schedule went nondeterministic, or a
+///                                    soundness violation was observed
+///
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Catalog.h"
+#include "run/Codegen.h"
+#include "run/RunEngine.h"
+#include "run/Verdict.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cats;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed(Clock::time_point From) {
+  return std::chrono::duration<double>(Clock::now() - From).count();
+}
+
+const char *const BenchTests[] = {"mp", "sb", "lb"};
+
+/// Sequential replay of \p Iterations outcomes over preallocated state —
+/// the interpreter floor the harness overhead is normalized against.
+double runReplay(const NativeTest &Native, unsigned long long Iterations) {
+  const unsigned Locs = std::max(Native.numLocations(), 1u);
+  std::vector<PaddedCell> Cells(Locs);
+  std::vector<std::vector<Value>> Banks(Native.numThreads());
+  std::vector<const Value *> BankPtrs(Native.numThreads());
+  for (unsigned T = 0; T < Native.numThreads(); ++T) {
+    Banks[T].assign(std::max(Native.numRegisters(T), 1u), 0);
+    BankPtrs[T] = Banks[T].data();
+  }
+  unsigned long long Distinct = 0;
+  const auto Start = Clock::now();
+  for (unsigned long long I = 0; I < Iterations; ++I) {
+    Native.initializeCells(Cells.data());
+    for (unsigned T = 0; T < Native.numThreads(); ++T)
+      Native.runThread(T, Cells.data(), Banks[T].data());
+    Outcome Out = Native.collectOutcome(Cells.data(), BankPtrs.data());
+    Distinct += Out.Memory.size(); // Keep the collect from being elided.
+  }
+  double Wall = elapsed(Start);
+  if (Distinct == 0)
+    std::fprintf(stderr, "impossible: empty outcomes\n");
+  return Wall;
+}
+
+struct Measurement {
+  double ReplaySeconds = 0;
+  double HarnessSeconds = 0;
+  unsigned long long Iterations = 0;
+  bool Deterministic = true;
+  bool Sound = true;
+};
+
+Measurement measure(unsigned long long Iterations, unsigned Batch,
+                    unsigned Jobs, unsigned Repeats) {
+  RunOptions Opts;
+  Opts.Iterations = Iterations;
+  Opts.BatchSize = Batch;
+  Opts.Jobs = Jobs;
+  Opts.Seed = 42;
+  RunEngine Engine(Opts);
+  const Model &Reference = hostReferenceModel();
+
+  Measurement M;
+  M.Iterations = Iterations;
+  M.ReplaySeconds = 1e300;
+  M.HarnessSeconds = 1e300;
+  for (unsigned R = 0; R < Repeats; ++R) {
+    double Replay = 0, Harness = 0;
+    for (const char *Name : BenchTests) {
+      const CatalogEntry *Entry = catalogEntry(Name);
+      if (!Entry) {
+        std::fprintf(stderr, "catalogue lost %s\n", Name);
+        std::exit(1);
+      }
+      auto Native = NativeTest::compile(Entry->Test);
+      if (!Native) {
+        std::fprintf(stderr, "%s: %s\n", Name, Native.message().c_str());
+        std::exit(1);
+      }
+      Replay += runReplay(*Native, Iterations);
+      RunTestResult First = Engine.runTest(Entry->Test, Reference);
+      RunTestResult Second = Engine.runTest(Entry->Test, Reference);
+      if (!First.Error.empty()) {
+        std::fprintf(stderr, "%s: %s\n", Name, First.Error.c_str());
+        std::exit(1);
+      }
+      Harness += First.WallSeconds + Second.WallSeconds;
+      if (First.ScheduleHash != Second.ScheduleHash)
+        M.Deterministic = false;
+      if (!First.sound() || !Second.sound())
+        M.Sound = false;
+    }
+    M.ReplaySeconds = std::min(M.ReplaySeconds, Replay);
+    // Two harness runs per test above (for the determinism check); halve
+    // so both sides of the ratio cover the same iteration count.
+    M.HarnessSeconds = std::min(M.HarnessSeconds, Harness / 2);
+  }
+  return M;
+}
+
+JsonValue toJson(const Measurement &M, unsigned Batch, unsigned Jobs,
+                 unsigned Repeats) {
+  const unsigned long long Outcomes =
+      M.Iterations * (sizeof(BenchTests) / sizeof(BenchTests[0]));
+  JsonValue Root = JsonValue::object();
+  Root.set("schema", "cats-bench-run/1");
+  JsonValue Tests = JsonValue::array();
+  for (const char *Name : BenchTests)
+    Tests.push(Name);
+  Root.set("tests", std::move(Tests));
+  Root.set("iterations", M.Iterations);
+  Root.set("batch", Batch);
+  Root.set("jobs", Jobs);
+  Root.set("repeats", Repeats);
+  Root.set("replay_seconds", M.ReplaySeconds);
+  Root.set("harness_seconds", M.HarnessSeconds);
+  Root.set("replay_outcomes_per_sec", Outcomes / M.ReplaySeconds);
+  Root.set("harness_outcomes_per_sec", Outcomes / M.HarnessSeconds);
+  Root.set("normalized_harness_cost", M.HarnessSeconds / M.ReplaySeconds);
+  Root.set("deterministic", M.Deterministic);
+  Root.set("sound", M.Sound);
+  return Root;
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--iterations N] [--batch N] [--jobs N]\n"
+               "          [--repeats N] [--out FILE] [--check FILE]\n"
+               "          [--tolerance F]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned long long Iterations = 100000;
+  unsigned Batch = 512, Jobs = 0, Repeats = 3;
+  double Tolerance = 0.25;
+  std::string OutPath, CheckPath;
+
+  for (int I = 1; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    auto Value = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--iterations") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      Iterations = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--batch") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      Batch = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--jobs") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--repeats") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      Repeats = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--out") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      OutPath = V;
+    } else if (Arg == "--check") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      CheckPath = V;
+    } else if (Arg == "--tolerance") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      Tolerance = std::strtod(V, nullptr);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (Iterations == 0 || Batch == 0 || Repeats == 0)
+    return usage(argv[0]);
+
+  std::printf("== Native harness throughput vs sequential replay floor ==\n");
+  std::printf("tests: mp, sb, lb x %llu iterations, batch %u, best of %u "
+              "repeats, host %s, model %s\n\n",
+              Iterations, Batch, Repeats, hostArchName(),
+              hostReferenceModel().name().c_str());
+
+  Measurement M = measure(Iterations, Batch, Jobs, Repeats);
+  const unsigned long long Outcomes = Iterations * 3;
+
+  std::printf("%-38s %10.4fs  (%.0f outcomes/s)\n",
+              "replay (single-thread floor)", M.ReplaySeconds,
+              Outcomes / M.ReplaySeconds);
+  std::printf("%-38s %10.4fs  (%.0f outcomes/s)\n",
+              "harness (batched, barriers, shuffle)", M.HarnessSeconds,
+              Outcomes / M.HarnessSeconds);
+  std::printf("normalized harness cost: %.4f\n",
+              M.HarnessSeconds / M.ReplaySeconds);
+  std::printf("schedule deterministic per seed: %s\n",
+              M.Deterministic ? "yes" : "NO");
+  std::printf("sound vs %s: %s\n", hostReferenceModel().name().c_str(),
+              M.Sound ? "yes" : "NO");
+
+  if (!M.Deterministic) {
+    std::fprintf(stderr, "FAIL: schedule hash differs across same-seed "
+                         "runs\n");
+    return 1;
+  }
+  if (!M.Sound) {
+    std::fprintf(stderr, "FAIL: observed an outcome the host reference "
+                         "model forbids\n");
+    return 1;
+  }
+
+  if (!OutPath.empty()) {
+    std::ofstream Out(OutPath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+      return 1;
+    }
+    Out << toJson(M, Batch, Jobs, Repeats).dump();
+    std::printf("wrote %s\n", OutPath.c_str());
+  }
+
+  if (!CheckPath.empty()) {
+    std::ifstream In(CheckPath);
+    if (!In) {
+      std::fprintf(stderr, "cannot read baseline %s\n", CheckPath.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    auto Baseline = JsonValue::parse(Buf.str());
+    if (!Baseline) {
+      std::fprintf(stderr, "bad baseline %s: %s\n", CheckPath.c_str(),
+                   Baseline.message().c_str());
+      return 1;
+    }
+    const JsonValue *Cost = Baseline->get("normalized_harness_cost");
+    if (!Cost || !Cost->isNumber()) {
+      std::fprintf(stderr, "baseline %s lacks normalized_harness_cost\n",
+                   CheckPath.c_str());
+      return 1;
+    }
+    // Harness and replay are measured in the same run, so machine speed
+    // cancels; extra cores only lower the harness side, so a baseline
+    // committed on a small machine stays a valid upper bound.
+    const double Fresh = M.HarnessSeconds / M.ReplaySeconds;
+    const double Allowed = Cost->asNumber() * (1.0 + Tolerance);
+    std::printf("\nperf gate: normalized harness cost %.4f (baseline "
+                "%.4f, allowed <= %.4f)\n",
+                Fresh, Cost->asNumber(), Allowed);
+    if (Fresh > Allowed) {
+      std::fprintf(stderr,
+                   "FAIL: harness cost regressed more than %.0f%% vs the "
+                   "committed baseline\n",
+                   Tolerance * 100);
+      return 1;
+    }
+    std::printf("perf gate passed\n");
+  }
+
+  return 0;
+}

@@ -114,7 +114,11 @@ private:
       auto KV = splitString(Field, '=');
       if (KV.size() != 2)
         return error("malformed initialiser '" + Field + "'");
-      Test.Init[trimString(KV[0])] = std::stoll(trimString(KV[1]));
+      std::string Loc = trimString(KV[0]);
+      Value V = 0;
+      if (Loc.empty() || !parseValueToken(KV[1], V))
+        return error("malformed initialiser '" + Field + "'");
+      Test.Init[Loc] = V;
     }
     return true;
   }
@@ -124,7 +128,11 @@ private:
     std::string Header = current();
     if (Header.back() != ':')
       return error("thread header must end with ':'");
-    unsigned Index = std::stoul(Header.substr(1, Header.size() - 2));
+    long long Parsed = 0;
+    if (!parseBoundedUnsigned(Header.substr(1, Header.size() - 2), 10000LL,
+                              Parsed))
+      return error("malformed thread header '" + Header + "'");
+    unsigned Index = static_cast<unsigned>(Parsed);
     if (Index != Test.Threads.size())
       return error(strFormat("thread P%u out of order (expected P%zu)",
                              Index, Test.Threads.size()));
@@ -151,21 +159,59 @@ private:
            current().back() == ':';
   }
 
+  /// All-digits decimal without sign; bounded so hostile inputs cannot
+  /// overflow (the stdlib conversions throw instead of failing, which
+  /// would crash the CLI on a malformed test).
+  static bool parseBoundedUnsigned(const std::string &Digits, long long Max,
+                                   long long &Out) {
+    if (Digits.empty())
+      return false;
+    long long V = 0;
+    for (char C : Digits) {
+      if (!std::isdigit(static_cast<unsigned char>(C)))
+        return false;
+      V = V * 10 + (C - '0');
+      if (V > Max)
+        return false;
+    }
+    Out = V;
+    return true;
+  }
+
+  /// A litmus value: optional sign plus digits, nothing else. Values in
+  /// tests are small by construction; anything beyond +/-2^31 is a typo,
+  /// not a test.
+  static bool parseValueToken(const std::string &Token, Value &Out) {
+    std::string Digits = trimString(Token);
+    bool Negative = false;
+    if (!Digits.empty() && (Digits[0] == '-' || Digits[0] == '+')) {
+      Negative = Digits[0] == '-';
+      Digits.erase(0, 1);
+    }
+    long long V = 0;
+    if (!parseBoundedUnsigned(Digits, 2147483647LL, V))
+      return false;
+    Out = Negative ? -V : V;
+    return true;
+  }
+
   /// "r7" -> 7.
   bool parseRegister(const std::string &Token, Register &Out) {
-    if (Token.size() < 2 || Token[0] != 'r')
+    long long V = 0;
+    if (Token.size() < 2 || Token[0] != 'r' ||
+        !parseBoundedUnsigned(Token.substr(1), 1000000LL, V))
       return error("expected register, got '" + Token + "'");
-    for (size_t I = 1; I < Token.size(); ++I)
-      if (!std::isdigit(static_cast<unsigned char>(Token[I])))
-        return error("expected register, got '" + Token + "'");
-    Out = std::stoi(Token.substr(1));
+    Out = static_cast<Register>(V);
     return true;
   }
 
   /// "#4" or "r2".
   bool parseOperand(const std::string &Token, Operand &Out) {
     if (!Token.empty() && Token[0] == '#') {
-      Out = Operand::imm(std::stoll(Token.substr(1)));
+      Value V = 0;
+      if (!parseValueToken(Token.substr(1), V))
+        return error("malformed immediate '" + Token + "'");
+      Out = Operand::imm(V);
       return true;
     }
     Register R;
@@ -311,16 +357,22 @@ private:
     if (Eq.size() != 2)
       return error("malformed condition atom '" + Text + "'");
     std::string Lhs = trimString(Eq[0]);
-    Value V = std::stoll(trimString(Eq[1]));
+    Value V = 0;
+    if (!parseValueToken(Eq[1], V))
+      return error("malformed condition atom '" + Text + "'");
     size_t Colon = Lhs.find(':');
     if (Colon != std::string::npos) {
-      ThreadId T = std::stoi(Lhs.substr(0, Colon));
+      long long T = 0;
+      if (!parseBoundedUnsigned(Lhs.substr(0, Colon), 10000LL, T))
+        return error("malformed thread id in '" + Text + "'");
       Register R;
       if (!parseRegister(Lhs.substr(Colon + 1), R))
         return false;
-      Out = ConditionAtom::regEquals(T, R, V);
+      Out = ConditionAtom::regEquals(static_cast<ThreadId>(T), R, V);
       return true;
     }
+    if (Lhs.empty())
+      return error("malformed condition atom '" + Text + "'");
     Out = ConditionAtom::memEquals(Lhs, V);
     return true;
   }

@@ -139,6 +139,14 @@ JsonValue familyToJson(const FamilyVerdicts &F) {
   Entry.set("models", std::move(Models));
   Entry.set("observed_on", std::move(ObservedOn));
   Entry.set("forbidden_under", std::move(ForbiddenUnder));
+  if (F.HasEmpirical) {
+    JsonValue Empirical = JsonValue::object();
+    Empirical.set("tests", F.Empirical.Tests);
+    Empirical.set("observed", F.Empirical.Observed);
+    Empirical.set("iterations", F.Empirical.Iterations);
+    Empirical.set("outside_model", F.Empirical.OutsideModel);
+    Entry.set("empirical", std::move(Empirical));
+  }
   JsonValue Names = JsonValue::array();
   for (const std::string &Name : F.TestNames)
     Names.push(Name);
@@ -202,6 +210,10 @@ JsonValue cats::mineReportToJson(const MineReport &Report) {
   for (const std::string &Model : Report.Models)
     Models.push(Model);
   Corpus.set("models", std::move(Models));
+  if (Report.HasEmpirical) {
+    Corpus.set("empirical_model", Report.EmpiricalModel);
+    Corpus.set("empirical_host", Report.EmpiricalHost);
+  }
   JsonValue Families = JsonValue::array();
   for (const FamilyVerdicts &F : Report.Families)
     Families.push(familyToJson(F));

@@ -45,6 +45,19 @@ struct FamilyModelStats {
   unsigned Forbidden = 0; ///< Tests of the family the model forbids.
 };
 
+/// The empirical (native-run) column of one family: what a real machine
+/// observed, next to what the models predict. Filled by
+/// run/Verdict.h's attachEmpirical from a RunReport.
+struct FamilyEmpirical {
+  unsigned Tests = 0;    ///< Family tests executed natively.
+  unsigned Observed = 0; ///< ... whose exists-clause was seen on hardware.
+  unsigned long long Iterations = 0; ///< Total executions sampled.
+  /// Unsound executions: outcomes the reference model forbids plus any
+  /// the candidate enumeration cannot produce at all (the two counters
+  /// are disjoint); 0 on a sound setup.
+  unsigned long long OutsideModel = 0;
+};
+
 /// Observed-vs-forbidden statistics for one cycle family.
 struct FamilyVerdicts {
   std::string Family;
@@ -53,6 +66,9 @@ struct FamilyVerdicts {
   std::vector<FamilyModelStats> PerModel;
   /// The family's test names, in sweep order.
   std::vector<std::string> TestNames;
+  /// Hardware observations, when a native run was attached.
+  bool HasEmpirical = false;
+  FamilyEmpirical Empirical;
 
   const FamilyModelStats *forModel(const std::string &Name) const;
   /// True when the model allowed at least one test of the family.
@@ -72,6 +88,11 @@ struct MineReport {
   std::vector<FamilyVerdicts> Families;
   /// Static mole analyses to cross-reference (may be empty).
   std::vector<MoleReport> StaticReports;
+  /// Set when a native run was attached (attachEmpirical): the reference
+  /// model the hardware histograms were judged against and the host.
+  bool HasEmpirical = false;
+  std::string EmpiricalModel;
+  std::string EmpiricalHost;
 
   const FamilyVerdicts *family(const std::string &Name) const;
 };

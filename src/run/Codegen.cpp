@@ -1,0 +1,232 @@
+//===- Codegen.cpp - Litmus tests -> native concurrent code ---------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "run/Codegen.h"
+
+#include "event/Execution.h"
+
+#include <map>
+
+using namespace cats;
+
+void cats::hostFence(HostFence F) {
+  switch (F) {
+  case HostFence::Full:
+#if (defined(__x86_64__) || defined(__i386__)) &&                            \
+    (defined(__GNUC__) || defined(__clang__))
+    asm volatile("mfence" ::: "memory");
+#else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+    break;
+  case HostFence::Light:
+    std::atomic_thread_fence(std::memory_order_acq_rel);
+    break;
+  case HostFence::Control:
+    // isync/isb only discard speculation; at the source level that is a
+    // compiler barrier (the ctrl+cfence ordering comes from the branch
+    // the codegen emits before it).
+#if defined(__GNUC__) || defined(__clang__)
+    asm volatile("" ::: "memory");
+#else
+    std::atomic_thread_fence(std::memory_order_acquire);
+#endif
+    break;
+  case HostFence::None:
+    break;
+  }
+}
+
+HostFence cats::classifyFence(const std::string &FenceName) {
+  if (FenceName == fence::Sync || FenceName == fence::Dmb ||
+      FenceName == fence::Dsb || FenceName == fence::MFence)
+    return HostFence::Full;
+  if (FenceName == fence::LwSync || FenceName == fence::Eieio ||
+      FenceName == fence::DmbSt || FenceName == fence::DsbSt)
+    return HostFence::Light;
+  if (FenceName == fence::ISync || FenceName == fence::Isb)
+    return HostFence::Control;
+  return HostFence::None;
+}
+
+Expected<NativeTest> NativeTest::compile(const LitmusTest &Test) {
+  std::string Problem = Test.validate();
+  if (!Problem.empty())
+    return Expected<NativeTest>::error("invalid litmus test " + Test.Name +
+                                       ": " + Problem);
+
+  NativeTest Out;
+  Out.Source = Test;
+
+  // Locations in the simulator's interning order, so outcome keys agree.
+  Out.LocNames = Test.locations();
+  std::map<std::string, int> LocIndex;
+  for (const std::string &Name : Out.LocNames) {
+    LocIndex[Name] = static_cast<int>(LocIndex.size());
+    auto It = Test.Init.find(Name);
+    Out.InitVals.push_back(It == Test.Init.end() ? 0 : It->second);
+  }
+
+  for (unsigned T = 0; T < Test.numThreads(); ++T) {
+    const ThreadCode &Code = Test.Threads[T];
+    std::map<Register, int> RegIndex;
+    auto Dense = [&](Register R) {
+      auto [It, _] = RegIndex.try_emplace(R,
+                                          static_cast<int>(RegIndex.size()));
+      return It->second;
+    };
+
+    std::vector<NativeOp> Ops;
+    std::vector<std::pair<Register, unsigned>> Outcomes;
+    Ops.reserve(Code.size());
+    for (const Instruction &Instr : Code) {
+      NativeOp Op;
+      Op.Op = Instr.Op;
+      switch (Instr.Op) {
+      case Opcode::Load:
+        Op.Loc = LocIndex.at(Instr.Loc);
+        if (Instr.AddrDep >= 0)
+          Op.AddrDep = Dense(Instr.AddrDep);
+        Op.Dst = Dense(Instr.Dst);
+        break;
+      case Opcode::Store:
+        Op.Loc = LocIndex.at(Instr.Loc);
+        if (Instr.AddrDep >= 0)
+          Op.AddrDep = Dense(Instr.AddrDep);
+        if (Instr.Src1.isImm()) {
+          Op.Src1IsImm = true;
+          Op.Imm = Instr.Src1.asImm();
+        } else {
+          Op.Src1 = Dense(Instr.Src1.asReg());
+        }
+        break;
+      case Opcode::Move:
+        if (Instr.Src1.isImm()) {
+          Op.Src1IsImm = true;
+          Op.Imm = Instr.Src1.asImm();
+        } else {
+          Op.Src1 = Dense(Instr.Src1.asReg());
+        }
+        Op.Dst = Dense(Instr.Dst);
+        break;
+      case Opcode::Xor:
+      case Opcode::Add:
+        Op.Src1 = Dense(Instr.Src1.asReg());
+        Op.Src2 = Dense(Instr.Src2.asReg());
+        Op.Dst = Dense(Instr.Dst);
+        break;
+      case Opcode::CmpBranch:
+        Op.Src1 = Dense(Instr.Src1.asReg());
+        break;
+      case Opcode::Fence:
+        Op.Fence = classifyFence(Instr.FenceName);
+        break;
+      }
+      // The outcome registers are the Dst of every value-producing
+      // instruction — the same set concretize() records in its final
+      // register file.
+      if (Instr.Op == Opcode::Load || Instr.Op == Opcode::Move ||
+          Instr.Op == Opcode::Xor || Instr.Op == Opcode::Add)
+        Outcomes.push_back({Instr.Dst, static_cast<unsigned>(Op.Dst)});
+      Ops.push_back(Op);
+    }
+
+    Out.Threads.push_back(std::move(Ops));
+    Out.RegBankSize.push_back(static_cast<unsigned>(RegIndex.size()));
+    // Deduplicate outcome registers (a register written twice appears once
+    // in the final register file).
+    std::map<Register, unsigned> Unique;
+    for (const auto &[R, D] : Outcomes)
+      Unique[R] = D;
+    Out.OutcomeRegs.emplace_back(Unique.begin(), Unique.end());
+  }
+  return Out;
+}
+
+void NativeTest::initializeCells(PaddedCell *Cells) const {
+  for (size_t L = 0; L < InitVals.size(); ++L)
+    Cells[L].V.store(InitVals[L], std::memory_order_relaxed);
+}
+
+void NativeTest::runThread(unsigned T, PaddedCell *Cells, Value *Regs) const {
+  // Unwritten registers read 0 (the data-flow semantics' default).
+  const unsigned NumRegs = RegBankSize[T];
+  for (unsigned R = 0; R < NumRegs; ++R)
+    Regs[R] = 0;
+
+  for (const NativeOp &Op : Threads[T]) {
+    switch (Op.Op) {
+    case Opcode::Load: {
+      size_t Idx = static_cast<size_t>(Op.Loc);
+      if (Op.AddrDep >= 0) {
+        // opaqueValue(Dep) ^ Dep is 0 at runtime, but the compiler must
+        // materialize the read of Dep into the address: a hardware addr
+        // dependency, false or true exactly as in the test.
+        Value Dep = Regs[Op.AddrDep];
+        Idx += static_cast<size_t>(opaqueValue(Dep) ^ Dep);
+      }
+      Regs[Op.Dst] = Cells[Idx].V.load(std::memory_order_relaxed);
+      break;
+    }
+    case Opcode::Store: {
+      size_t Idx = static_cast<size_t>(Op.Loc);
+      if (Op.AddrDep >= 0) {
+        Value Dep = Regs[Op.AddrDep];
+        Idx += static_cast<size_t>(opaqueValue(Dep) ^ Dep);
+      }
+      Value V = Op.Src1IsImm ? Op.Imm : Regs[Op.Src1];
+      Cells[Idx].V.store(V, std::memory_order_relaxed);
+      break;
+    }
+    case Opcode::Move:
+      Regs[Op.Dst] = Op.Src1IsImm ? Op.Imm : Regs[Op.Src1];
+      break;
+    case Opcode::Xor:
+      Regs[Op.Dst] = Regs[Op.Src1] ^ Regs[Op.Src2];
+      break;
+    case Opcode::Add:
+      Regs[Op.Dst] = Regs[Op.Src1] + Regs[Op.Src2];
+      break;
+    case Opcode::CmpBranch: {
+      // A real conditional branch on the register's value that always
+      // falls through (the pseudo-ISA's branch targets the next
+      // instruction) — the hardware still orders dependents behind it.
+      Value V = Regs[Op.Src1];
+      if (opaqueValue(V) != V)
+        return;
+      break;
+    }
+    case Opcode::Fence:
+      hostFence(Op.Fence);
+      break;
+    }
+  }
+}
+
+Outcome NativeTest::collectOutcome(const PaddedCell *Cells,
+                                   const Value *const *Regs) const {
+  Outcome Out;
+  Out.Regs.resize(Threads.size());
+  for (size_t T = 0; T < Threads.size(); ++T)
+    for (const auto &[R, Dense] : OutcomeRegs[T])
+      Out.Regs[T][R] = Regs[T][Dense];
+  for (size_t L = 0; L < LocNames.size(); ++L)
+    Out.Memory[LocNames[L]] = Cells[L].V.load(std::memory_order_relaxed);
+  return Out;
+}
+
+Outcome NativeTest::replay() const {
+  std::vector<PaddedCell> Cells(LocNames.empty() ? 1 : LocNames.size());
+  initializeCells(Cells.data());
+  std::vector<std::vector<Value>> Banks(Threads.size());
+  std::vector<const Value *> BankPtrs(Threads.size());
+  for (size_t T = 0; T < Threads.size(); ++T) {
+    Banks[T].assign(RegBankSize[T] ? RegBankSize[T] : 1, 0);
+    runThread(static_cast<unsigned>(T), Cells.data(), Banks[T].data());
+    BankPtrs[T] = Banks[T].data();
+  }
+  return collectOutcome(Cells.data(), BankPtrs.data());
+}

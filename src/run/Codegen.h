@@ -1,0 +1,174 @@
+//===- Codegen.h - Litmus tests -> native concurrent code -----*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the litmus pseudo-ISA into code the host CPU actually executes:
+/// every memory location becomes a cache-line-padded std::atomic cell,
+/// plain loads/stores become relaxed atomic accesses, the architecture
+/// fences become real host fences (mfence / atomic_thread_fence), and the
+/// addr/data/ctrl dependency chains of Sec. 5 survive into the generated
+/// address computations and branches, laundered through an empty asm so
+/// the compiler cannot collapse them.
+///
+/// This is the repo's rendering of the paper's `litmus` tool (Sec. 8.1):
+/// where herd *enumerates* the candidate executions of a test, the run
+/// subsystem *samples* them on real hardware. The lowered form is a
+/// compact per-thread op sequence executed by a tight dispatch loop; the
+/// memory accesses, fences and dependent address/branch computations in
+/// that loop are the genuine article, so the outcomes the harness
+/// (RunEngine.h) collects are outcomes of real concurrent executions on
+/// the host's memory model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_RUN_CODEGEN_H
+#define CATS_RUN_CODEGEN_H
+
+#include "litmus/LitmusTest.h"
+#include "support/Error.h"
+
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cats {
+
+/// The host fence vocabulary the pseudo-ISA fences lower onto. The mapping
+/// (docs/running.md) is:
+///
+///   sync, dmb, dsb, mfence        -> Full    (store-load ordering too)
+///   lwsync, eieio, dmb.st, dsb.st -> Light   (acq_rel thread fence)
+///   isync, isb                    -> Control (compiler barrier)
+///
+/// Full is `mfence` on x86-64 and a seq_cst thread fence elsewhere. The
+/// mapping is at least as strong as each fence requires *for the soundness
+/// direction the harness checks*: observed outcomes must fall inside the
+/// host model's allowed set, and a too-strong fence only shrinks what is
+/// observed.
+enum class HostFence : uint8_t { None, Full, Light, Control };
+
+/// Executes host fence \p F.
+void hostFence(HostFence F);
+
+/// Classifies a pseudo-ISA fence name; Control for isync/isb, Full/Light
+/// per the table above, None for unknown names (validation rejects those
+/// earlier).
+HostFence classifyFence(const std::string &FenceName);
+
+/// Identity the optimizer must treat as opaque. The generated address and
+/// branch computations route dependency values through this, so e.g.
+/// `opaqueValue(Dep) ^ Dep` is 0 at runtime yet cannot be constant-folded:
+/// the resulting machine code genuinely reads the register, which is what
+/// makes a false dependency (xor r,r) order loads on hardware that
+/// respects addr dependencies.
+///
+/// The laundering requires the GNU inline-asm extension. On other
+/// compilers the expression would fold and the emitted code would lose
+/// its dependency chains — soundness reports would then blame the model
+/// for harness artifacts — so refuse to build rather than run wrong.
+inline Value opaqueValue(Value V) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : "+r"(V));
+#else
+#error "run/Codegen needs GNU inline asm to preserve dependency chains"
+#endif
+  return V;
+}
+
+/// One shared-memory cell, alone on its cache line so distinct litmus
+/// locations never exhibit false sharing.
+struct alignas(64) PaddedCell {
+  std::atomic<Value> V{0};
+};
+
+/// One lowered instruction. Register and location operands are dense
+/// indices into the per-thread register bank / per-instance cell array.
+struct NativeOp {
+  Opcode Op = Opcode::Fence;
+  HostFence Fence = HostFence::None;
+  bool Src1IsImm = false;
+  Value Imm = 0;
+  int Dst = -1;     ///< Dense register index.
+  int Src1 = -1;    ///< Dense register index (when !Src1IsImm).
+  int Src2 = -1;    ///< Dense register index.
+  int Loc = -1;     ///< Dense location index (Load/Store).
+  int AddrDep = -1; ///< Dense register index feeding the address, or -1.
+};
+
+/// A litmus test lowered to native form. The lowering is structural and
+/// deterministic; one NativeTest is shared read-only by all harness
+/// threads.
+class NativeTest {
+public:
+  /// Lowers \p Test; fails on validation errors (same checks as the
+  /// simulator path, so a test that sweeps also runs).
+  static Expected<NativeTest> compile(const LitmusTest &Test);
+
+  const LitmusTest &test() const { return Source; }
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+  /// Locations in LitmusTest::locations() order — the same interning order
+  /// the simulator uses, so outcome keys agree byte-for-byte.
+  unsigned numLocations() const {
+    return static_cast<unsigned>(LocNames.size());
+  }
+  const std::vector<std::string> &locationNames() const { return LocNames; }
+
+  /// Initial value per location (0 when the init section is silent).
+  const std::vector<Value> &initialValues() const { return InitVals; }
+
+  /// Size of thread \p T's dense register bank.
+  unsigned numRegisters(unsigned T) const { return RegBankSize[T]; }
+
+  /// The registers of thread \p T that appear in outcomes — the Dst of
+  /// every value-producing instruction, exactly the set the simulator's
+  /// concretize() records — as (source register, dense index) pairs.
+  const std::vector<std::pair<Register, unsigned>> &
+  outcomeRegisters(unsigned T) const {
+    return OutcomeRegs[T];
+  }
+
+  /// Stores every location's initial value into \p Cells (relaxed; the
+  /// harness barrier publishes them).
+  void initializeCells(PaddedCell *Cells) const;
+
+  /// Executes thread \p T once over one instance: \p Cells points at the
+  /// instance's numLocations() cells, \p Regs at the thread's
+  /// numRegisters(T) bank (zeroed on entry — unwritten registers read 0,
+  /// as in the data-flow semantics).
+  void runThread(unsigned T, PaddedCell *Cells, Value *Regs) const;
+
+  /// Reads one instance's final state: \p Regs[T] points at thread T's
+  /// bank. The outcome has the same register/memory shape as the
+  /// simulator's, so keys are directly comparable.
+  Outcome collectOutcome(const PaddedCell *Cells,
+                         const Value *const *Regs) const;
+
+  /// Runs the whole test once in the calling thread, threads in index
+  /// order over a private instance. The sequential interleaving is an SC
+  /// execution, so the result always lies in the SC-allowed outcome set;
+  /// the tests use it as the value-semantics oracle and bench_run as the
+  /// harness's cost floor.
+  Outcome replay() const;
+
+private:
+  NativeTest() = default;
+
+  LitmusTest Source;
+  std::vector<std::string> LocNames;
+  std::vector<Value> InitVals;
+  std::vector<std::vector<NativeOp>> Threads;
+  std::vector<unsigned> RegBankSize;
+  std::vector<std::vector<std::pair<Register, unsigned>>> OutcomeRegs;
+};
+
+} // namespace cats
+
+#endif // CATS_RUN_CODEGEN_H

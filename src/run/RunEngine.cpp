@@ -1,0 +1,353 @@
+//===- RunEngine.cpp - litmus7-style native test harness ------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "run/RunEngine.h"
+
+#include "run/Verdict.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <numeric>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+using namespace cats;
+
+const char *cats::scheduleName(ScheduleKind K) {
+  switch (K) {
+  case ScheduleKind::Shuffle:
+    return "shuffle";
+  case ScheduleKind::Stride:
+    return "stride";
+  case ScheduleKind::Sequential:
+    return "seq";
+  }
+  return "?";
+}
+
+bool cats::parseScheduleKind(const std::string &Name, ScheduleKind &Out) {
+  if (Name == "shuffle") {
+    Out = ScheduleKind::Shuffle;
+    return true;
+  }
+  if (Name == "stride") {
+    Out = ScheduleKind::Stride;
+    return true;
+  }
+  if (Name == "seq" || Name == "sequential") {
+    Out = ScheduleKind::Sequential;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint64_t FnvOffset = 1469598103934665603ULL;
+constexpr uint64_t FnvPrime = 1099511628211ULL;
+
+uint64_t fnvStep(uint64_t H, uint64_t X) { return (H ^ X) * FnvPrime; }
+
+/// Deterministic per-test seed: the campaign seed mixed with the name, so
+/// every test draws a distinct but reproducible schedule stream.
+uint64_t testSeed(uint64_t Seed, const std::string &Name) {
+  uint64_t H = fnvStep(FnvOffset, Seed);
+  for (char C : Name)
+    H = fnvStep(H, static_cast<unsigned char>(C));
+  return H;
+}
+
+/// Sense-free generation barrier. Workers spin briefly and then yield —
+/// the harness must also behave on machines with fewer cores than the
+/// test has threads (the run is then merely less provocative).
+class SpinBarrier {
+public:
+  SpinBarrier(unsigned Total, unsigned SpinLimit)
+      : Total(Total), SpinLimit(SpinLimit) {}
+
+  void wait() {
+    unsigned Gen = Generation.load(std::memory_order_acquire);
+    if (Arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == Total) {
+      Arrived.store(0, std::memory_order_relaxed);
+      Generation.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    unsigned Spins = 0;
+    while (Generation.load(std::memory_order_acquire) == Gen)
+      if (++Spins >= SpinLimit) {
+        Spins = 0;
+        std::this_thread::yield();
+      }
+  }
+
+private:
+  std::atomic<unsigned> Arrived{0};
+  std::atomic<unsigned> Generation{0};
+  const unsigned Total;
+  const unsigned SpinLimit;
+};
+
+void pinToCore(unsigned Core) {
+#if defined(__linux__)
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(Core, &Set);
+  // Best-effort: sandboxes may forbid affinity changes.
+  pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
+#else
+  (void)Core;
+#endif
+}
+
+/// The visiting order of one (round, worker): a permutation or stride
+/// walk over [0, N), fully determined by the seed.
+std::vector<uint32_t> makeSchedule(uint64_t Seed, size_t Round,
+                                   unsigned Worker, unsigned N,
+                                   ScheduleKind Kind) {
+  std::vector<uint32_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  if (Kind == ScheduleKind::Sequential || N <= 1)
+    return Order;
+  Rng R(fnvStep(fnvStep(Seed, Round + 1), Worker + 0x9e3779b9ULL));
+  if (Kind == ScheduleKind::Shuffle) {
+    for (unsigned I = N - 1; I > 0; --I)
+      std::swap(Order[I], Order[R.nextBelow(I + 1)]);
+    return Order;
+  }
+  // Stride: start anywhere, step coprime to N so every instance is
+  // visited exactly once.
+  uint32_t Start = static_cast<uint32_t>(R.nextBelow(N));
+  uint32_t Step = 1 + static_cast<uint32_t>(R.nextBelow(N - 1));
+  while (std::gcd(Step, N) != 1)
+    Step = Step % (N - 1) + 1;
+  for (unsigned I = 0; I < N; ++I)
+    Order[I] = (Start + static_cast<uint64_t>(I) * Step) % N;
+  return Order;
+}
+
+} // namespace
+
+RunEngine::RunEngine(RunOptions OptsIn) : Opts(OptsIn) {
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw == 0)
+    Hw = 1;
+  Cores = Opts.Jobs == 0 ? Hw : std::min(Opts.Jobs, Hw);
+  if (Opts.BatchSize == 0)
+    Opts.BatchSize = 1;
+}
+
+RunTestResult RunEngine::runTest(const LitmusTest &Test,
+                                 const Model &Reference,
+                                 const SimulationMemo &Memo) const {
+  RunTestResult Result;
+  Result.TestName = Test.Name;
+  Result.ModelName = Reference.name();
+  Result.Iterations = Opts.Iterations;
+
+  auto Native = NativeTest::compile(Test);
+  if (!Native) {
+    Result.Error = Native.message();
+    return Result;
+  }
+  const unsigned NumThreads = Native->numThreads();
+  const unsigned NumLocs = Native->numLocations();
+  if (NumThreads == 0) {
+    Result.Error = "test " + Test.Name + " has no threads";
+    return Result;
+  }
+
+  const auto Start = Clock::now();
+  const unsigned Batch = static_cast<unsigned>(
+      std::min<unsigned long long>(Opts.BatchSize,
+                                   std::max<unsigned long long>(
+                                       Opts.Iterations, 1)));
+  const uint64_t Seed = testSeed(Opts.Seed, Test.Name);
+
+  // Shared instances: Batch x NumLocs padded cells; instance I's cells
+  // are the contiguous run [I*NumLocs, (I+1)*NumLocs).
+  std::vector<PaddedCell> Cells(static_cast<size_t>(Batch) *
+                                std::max(NumLocs, 1u));
+  // Per-worker register banks, Batch instances each. Written only by the
+  // owning worker during run phases; read by worker 0 in collect phases
+  // (the barriers order the two).
+  std::vector<std::vector<Value>> Banks(NumThreads);
+  std::vector<unsigned> BankStride(NumThreads);
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    BankStride[T] = std::max(Native->numRegisters(T), 1u);
+    Banks[T].assign(static_cast<size_t>(Batch) * BankStride[T], 0);
+  }
+
+  // Spin less before yielding when the machine cannot actually run every
+  // worker at once.
+  SpinBarrier Barrier(NumThreads, Cores >= NumThreads ? 4096 : 64);
+  std::vector<uint64_t> WorkerHash(NumThreads, FnvOffset);
+  std::map<std::string, RunBucket> Histogram;
+
+  auto Collect = [&](unsigned Count) {
+    std::vector<const Value *> BankPtrs(NumThreads);
+    for (unsigned I = 0; I < Count; ++I) {
+      for (unsigned T = 0; T < NumThreads; ++T)
+        BankPtrs[T] = &Banks[T][static_cast<size_t>(I) * BankStride[T]];
+      Outcome Out = Native->collectOutcome(
+          &Cells[static_cast<size_t>(I) * NumLocs], BankPtrs.data());
+      std::string Key = Out.key();
+      RunBucket &B = Histogram[Key];
+      if (B.Count == 0) {
+        B.Out = std::move(Out);
+        B.Key = std::move(Key);
+      }
+      ++B.Count;
+    }
+  };
+
+  auto Worker = [&](unsigned T) {
+    if (Opts.Pin)
+      pinToCore(T % Cores);
+    unsigned long long Remaining = Opts.Iterations;
+    size_t Round = 0;
+    while (Remaining > 0) {
+      const unsigned Count = static_cast<unsigned>(
+          std::min<unsigned long long>(Batch, Remaining));
+      if (T == 0)
+        for (unsigned I = 0; I < Count; ++I)
+          Native->initializeCells(&Cells[static_cast<size_t>(I) * NumLocs]);
+      Barrier.wait();
+      std::vector<uint32_t> Order =
+          makeSchedule(Seed, Round, T, Count, Opts.Schedule);
+      for (uint32_t I : Order)
+        WorkerHash[T] = fnvStep(WorkerHash[T], I);
+      for (uint32_t I : Order)
+        Native->runThread(T, &Cells[static_cast<size_t>(I) * NumLocs],
+                          &Banks[T][static_cast<size_t>(I) * BankStride[T]]);
+      Barrier.wait();
+      // Worker 0 folds the round while the rest idle at the next round's
+      // first barrier; the second barrier made their writes visible.
+      if (T == 0)
+        Collect(Count);
+      Remaining -= Count;
+      ++Round;
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads - 1);
+  for (unsigned T = 1; T < NumThreads; ++T)
+    Threads.emplace_back(Worker, T);
+  Worker(0);
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  uint64_t Hash = FnvOffset;
+  for (uint64_t H : WorkerHash)
+    Hash = fnvStep(Hash, H);
+  Result.ScheduleHash = Hash;
+  Result.Histogram.reserve(Histogram.size());
+  for (auto &[Key, Bucket] : Histogram)
+    Result.Histogram.push_back(std::move(Bucket));
+  Result.WallSeconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+
+  // Judge from an already-computed simulation when the caller has one
+  // (the cats_mine --run pass just swept the same tests); otherwise
+  // enumerate the candidate space here.
+  const MultiSimulationResult *Sim = Memo ? Memo(Test.Name) : nullptr;
+  if (!Sim || !judgeHistogramFromSimulation(Test, Reference, *Sim, Result))
+    judgeHistogram(Test, Reference, Result);
+  return Result;
+}
+
+RunReport RunEngine::run(const std::vector<LitmusTest> &Tests,
+                         const Model &Reference,
+                         const SimulationMemo &Memo) const {
+  RunReport Report;
+  Report.ModelName = Reference.name();
+  Report.Host = hostArchName();
+  Report.Iterations = Opts.Iterations;
+  Report.Seed = Opts.Seed;
+  Report.BatchSize = Opts.BatchSize;
+  Report.Schedule = Opts.Schedule;
+  Report.Jobs = Cores;
+  const auto Start = Clock::now();
+  Report.Tests.reserve(Tests.size());
+  for (const LitmusTest &Test : Tests)
+    Report.Tests.push_back(runTest(Test, Reference, Memo));
+  Report.WallSeconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+  return Report;
+}
+
+bool RunReport::allSound() const {
+  for (const RunTestResult &T : Tests)
+    if (!T.sound())
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON rendering (cats-run-report/1, see docs/running.md)
+//===----------------------------------------------------------------------===//
+
+JsonValue cats::runReportToJson(const RunReport &Report) {
+  JsonValue Root = JsonValue::object();
+  Root.set("schema", "cats-run-report/1");
+  Root.set("host", Report.Host);
+  Root.set("reference_model", Report.ModelName);
+  Root.set("iterations", Report.Iterations);
+  Root.set("seed", static_cast<unsigned long long>(Report.Seed));
+  Root.set("batch", Report.BatchSize);
+  Root.set("schedule", scheduleName(Report.Schedule));
+  Root.set("jobs", Report.Jobs);
+  Root.set("sound", Report.allSound());
+  Root.set("wall_seconds", Report.WallSeconds);
+
+  JsonValue Tests = JsonValue::array();
+  for (const RunTestResult &T : Report.Tests) {
+    JsonValue Entry = JsonValue::object();
+    Entry.set("name", T.TestName);
+    if (!T.Error.empty()) {
+      Entry.set("error", T.Error);
+      Tests.push(std::move(Entry));
+      continue;
+    }
+    Entry.set("iterations", T.Iterations);
+    Entry.set("wall_seconds", T.WallSeconds);
+    Entry.set("schedule_hash", strFormat("%016llx",
+                                         static_cast<unsigned long long>(
+                                             T.ScheduleHash)));
+    Entry.set("model_verdict",
+              T.ConditionAllowedByModel ? "Allow" : "Forbid");
+    Entry.set("sc_verdict", T.ConditionAllowedBySc ? "Allow" : "Forbid");
+    Entry.set("condition_observed", T.ConditionObserved);
+    Entry.set("outside_model", T.OutsideModel);
+    Entry.set("outside_sc", T.OutsideSc);
+    Entry.set("outside_enumeration", T.OutsideEnumeration);
+    Entry.set("sound", T.sound());
+    JsonValue Buckets = JsonValue::array();
+    for (const RunBucket &B : T.Histogram) {
+      JsonValue Bucket = JsonValue::object();
+      Bucket.set("outcome", B.Key);
+      Bucket.set("count", B.Count);
+      Bucket.set("allowed_by_model", B.AllowedByModel);
+      Bucket.set("allowed_by_sc", B.AllowedBySc);
+      Bucket.set("consistent", B.Consistent);
+      Bucket.set("matches_final", B.MatchesFinal);
+      Buckets.push(std::move(Bucket));
+    }
+    Entry.set("histogram", std::move(Buckets));
+    Tests.push(std::move(Entry));
+  }
+  Root.set("tests", std::move(Tests));
+  return Root;
+}

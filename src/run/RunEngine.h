@@ -1,0 +1,193 @@
+//===- RunEngine.h - litmus7-style native test harness --------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The high-throughput harness over run/Codegen, modelled on litmus7
+/// (Sec. 8.1): a batch of preallocated test instances, one worker thread
+/// per litmus thread pinned by affinity, rounds of
+///
+///   init all instances -> barrier -> every worker runs its thread over
+///   the instances in a seeded per-worker order -> barrier -> fold the
+///   final states into an outcome histogram
+///
+/// The per-worker visiting orders (shuffle by default, stride or
+/// sequential on request) are what provoke relaxed outcomes: workers
+/// collide on different instances at different times, so the window in
+/// which e.g. a store buffer is visibly stale keeps moving.
+///
+/// Determinism guarantee (docs/running.md): for a fixed seed, iteration
+/// count, batch size and schedule kind, the visiting orders — and hence
+/// RunTestResult::ScheduleHash — are identical across runs, and the
+/// histogram is always reported in sorted outcome-key order. The *counts*
+/// are the hardware's answer and legitimately vary run to run.
+///
+/// The verdict layer (Verdict.h) judges each histogram against a
+/// reference model: on a sound setup every observed outcome lies in the
+/// model's allowed set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_RUN_RUNENGINE_H
+#define CATS_RUN_RUNENGINE_H
+
+#include "litmus/LitmusTest.h"
+#include "model/Model.h"
+#include "run/Codegen.h"
+#include "sweep/Json.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cats {
+
+struct MultiSimulationResult;
+
+/// How each worker orders its visits to the instance batch.
+enum class ScheduleKind : uint8_t {
+  Shuffle,   ///< Per-round, per-worker Fisher-Yates permutation (default).
+  Stride,    ///< Seeded start offset + step coprime to the batch size.
+  Sequential ///< In-order; the least provocative, useful as a baseline.
+};
+
+/// "shuffle" / "stride" / "seq".
+const char *scheduleName(ScheduleKind K);
+
+/// Parses a --schedule value; false on unknown names.
+bool parseScheduleKind(const std::string &Name, ScheduleKind &Out);
+
+/// Harness configuration.
+struct RunOptions {
+  /// Executions sampled per test.
+  unsigned long long Iterations = 100000;
+  /// Cores used for affinity pinning; 0 means hardware concurrency.
+  unsigned Jobs = 0;
+  /// Seed for the shuffle/stride schedules (mixed with the test name, so
+  /// each test draws a distinct but reproducible stream).
+  uint64_t Seed = 42;
+  /// Preallocated test instances per round.
+  unsigned BatchSize = 512;
+  ScheduleKind Schedule = ScheduleKind::Shuffle;
+  /// Pin worker threads round-robin over the first Jobs cores.
+  bool Pin = true;
+};
+
+/// One bucket of a test's outcome histogram. The verdict fields are
+/// filled by judgeHistogram (Verdict.h).
+struct RunBucket {
+  Outcome Out;
+  /// Outcome::key() — the histogram is sorted by this.
+  std::string Key;
+  unsigned long long Count = 0;
+  /// Allowed by the reference model's simulation.
+  bool AllowedByModel = false;
+  /// Allowed under SC (outcomes observed outside SC are the interesting
+  /// relaxations).
+  bool AllowedBySc = false;
+  /// Present in the candidate enumeration at all (an outcome outside it
+  /// indicates a codegen/value bug, not a weak memory model).
+  bool Consistent = false;
+  /// Satisfies the test's exists-clause.
+  bool MatchesFinal = false;
+};
+
+/// The native run of one test.
+struct RunTestResult {
+  std::string TestName;
+  /// Non-empty when lowering or judging failed; the histogram is then
+  /// empty.
+  std::string Error;
+  /// Reference model the histogram was judged against.
+  std::string ModelName;
+  unsigned long long Iterations = 0;
+  /// Harness wall time (excludes the model-side simulation).
+  double WallSeconds = 0;
+  /// Deterministic digest of every worker's visiting orders; equal runs
+  /// (same seed/iterations/batch/schedule) produce equal hashes.
+  uint64_t ScheduleHash = 0;
+  /// Buckets in sorted key order.
+  std::vector<RunBucket> Histogram;
+  /// The exists-clause was observed on hardware.
+  bool ConditionObserved = false;
+  /// ... and what the reference model / SC say about it.
+  bool ConditionAllowedByModel = false;
+  bool ConditionAllowedBySc = false;
+  /// Iterations whose outcome the reference model forbids (soundness
+  /// violations) / SC forbids (relaxations) / the enumeration lacks
+  /// entirely (bugs). Disjoint: an outcome outside the enumeration is
+  /// counted only in OutsideEnumeration, so OutsideModel +
+  /// OutsideEnumeration is the total number of unsound executions.
+  unsigned long long OutsideModel = 0;
+  unsigned long long OutsideSc = 0;
+  unsigned long long OutsideEnumeration = 0;
+
+  /// True when every observed outcome is allowed by the reference model
+  /// (and explained by the candidate enumeration).
+  bool sound() const {
+    return Error.empty() && OutsideModel == 0 && OutsideEnumeration == 0;
+  }
+};
+
+/// A completed native-run campaign.
+struct RunReport {
+  std::vector<RunTestResult> Tests;
+  /// Reference model display name and host architecture.
+  std::string ModelName;
+  std::string Host;
+  /// Configuration echo.
+  unsigned long long Iterations = 0;
+  uint64_t Seed = 0;
+  unsigned BatchSize = 0;
+  ScheduleKind Schedule = ScheduleKind::Shuffle;
+  unsigned Jobs = 1;
+  double WallSeconds = 0;
+
+  /// True when every test ran and was sound.
+  bool allSound() const;
+};
+
+/// Runs litmus tests as native concurrent code.
+class RunEngine {
+public:
+  explicit RunEngine(RunOptions Opts = {});
+
+  const RunOptions &options() const { return Opts; }
+
+  /// Cores the harness pins over.
+  unsigned coreCount() const { return Cores; }
+
+  /// A per-test lookup for already-computed simulations (a sweep pass's
+  /// results): given a test name, the multi-model result to judge from,
+  /// or nullptr to simulate afresh.
+  using SimulationMemo =
+      std::function<const MultiSimulationResult *(const std::string &)>;
+
+  /// Runs \p Test for options().Iterations executions and judges the
+  /// histogram against \p Reference. When \p Memo yields a usable
+  /// simulation (carrying \p Reference and SC), the candidate space is
+  /// not re-enumerated. Never throws; failures land in
+  /// RunTestResult::Error.
+  RunTestResult runTest(const LitmusTest &Test, const Model &Reference,
+                        const SimulationMemo &Memo = nullptr) const;
+
+  /// Runs every test in order (tests run one at a time — a hardware run
+  /// wants the machine to itself).
+  RunReport run(const std::vector<LitmusTest> &Tests, const Model &Reference,
+                const SimulationMemo &Memo = nullptr) const;
+
+private:
+  RunOptions Opts;
+  unsigned Cores;
+};
+
+/// Serializes to the cats-run-report/1 schema (docs/running.md). Apart
+/// from wall times and the hardware-chosen bucket counts, the rendering
+/// is deterministic.
+JsonValue runReportToJson(const RunReport &Report);
+
+} // namespace cats
+
+#endif // CATS_RUN_RUNENGINE_H

@@ -1,0 +1,76 @@
+//===- Verdict.h - Hardware-vs-model soundness checking -------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The judgement half of the run subsystem: the paper's empirical
+/// validation loop (Sec. 8.1) asks whether everything *observed* on
+/// hardware is *allowed* by the model. judgeHistogram enumerates a test's
+/// candidate space once (shared with SC, via the multi-model checker) and
+/// classifies every histogram bucket:
+///
+///   outside the reference model  -> a soundness violation (the model is
+///                                   wrong for this hardware, or the run
+///                                   setup leaks reorderings it must not)
+///   outside SC, inside the model -> a genuine relaxation, the thing the
+///                                   harness exists to provoke
+///   outside the enumeration      -> a codegen/value bug: no candidate
+///                                   execution at all produces it
+///
+/// attachEmpirical folds a run report into a mole mining report as the
+/// "observed on this hardware" column next to the simulated verdicts —
+/// turning the mining tables from model-vs-model into the paper's real
+/// observed-vs-allowed experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_RUN_VERDICT_H
+#define CATS_RUN_VERDICT_H
+
+#include "herd/Simulator.h"
+#include "mole/Mine.h"
+#include "run/RunEngine.h"
+
+namespace cats {
+
+/// The build host's architecture name ("x86_64", "aarch64", "ppc64",
+/// "unknown").
+const char *hostArchName();
+
+/// The reference model native runs are judged against by default: TSO on
+/// x86, ARM on aarch64, Power on ppc64 — and Power (the weakest shipped
+/// hardware model) on unknown hosts, so the soundness check stays
+/// conservative.
+const Model &hostReferenceModel();
+
+/// Judges \p Result's histogram against \p Reference (and SC): fills the
+/// per-bucket flags and the aggregate verdict/violation fields. The
+/// aggregate counters are disjoint — a bucket outside the candidate
+/// enumeration counts only toward OutsideEnumeration, never also toward
+/// OutsideModel/OutsideSc — so their sum is the number of unsound
+/// executions. On simulation failure, sets Result.Error.
+void judgeHistogram(const LitmusTest &Test, const Model &Reference,
+                    RunTestResult &Result);
+
+/// As judgeHistogram, but reuses an already-computed simulation of the
+/// same test (e.g. a sweep pass's result) instead of enumerating the
+/// candidate space a second time. Requires \p Sim to carry both
+/// \p Reference and SC; returns false — leaving \p Result unjudged —
+/// when it does not, and the caller falls back to judgeHistogram.
+bool judgeHistogramFromSimulation(const LitmusTest &Test,
+                                  const Model &Reference,
+                                  const MultiSimulationResult &Sim,
+                                  RunTestResult &Result);
+
+/// Attaches \p Run as the empirical column of \p Report: per cycle
+/// family, how many tests ran, how many observed their exists-clause on
+/// hardware, and any soundness violations. Families the run exercised
+/// but the corpus sweep did not are skipped (the column annotates the
+/// existing table).
+void attachEmpirical(MineReport &Report, const RunReport &Run);
+
+} // namespace cats
+
+#endif // CATS_RUN_VERDICT_H

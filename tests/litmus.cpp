@@ -155,6 +155,108 @@ TEST(Parser, RoundTripThroughToString) {
   EXPECT_EQ(Again->Final.toString(), Test.Final.toString());
 }
 
+TEST(Parser, InitSectionValueForms) {
+  // Signs, interior whitespace, a multi-line section, and immediates the
+  // native codegen replays into cells verbatim.
+  LitmusTest Test = parseOrDie(R"(
+SC inits
+{ x = -1 ; y=+2;
+  z = 0 }
+P0:
+  ld r1, x
+exists (0:r1=-1)
+)");
+  EXPECT_EQ(Test.Init.at("x"), -1);
+  EXPECT_EQ(Test.Init.at("y"), 2);
+  EXPECT_EQ(Test.Init.at("z"), 0);
+  EXPECT_EQ(Test.Final.Disjuncts[0][0].Val, -1);
+}
+
+TEST(Parser, EmptyInitSection) {
+  LitmusTest Test = parseOrDie("SC empty\n{ }\nP0:\n  st x, #1\n");
+  EXPECT_TRUE(Test.Init.empty());
+}
+
+TEST(Parser, RejectsMalformedInitValues) {
+  // The stdlib conversions used to throw (crashing the CLI) instead of
+  // reporting a parse error on these.
+  for (const char *Init :
+       {"{ x=banana }", "{ x=1abc }", "{ =1 }", "{ x=--2 }",
+        "{ x=99999999999999999999 }", "{ x=1=2 }"}) {
+    std::string Text = std::string("SC bad\n") + Init + "\nP0:\n st x, #1\n";
+    auto Test = parseLitmus(Text);
+    EXPECT_FALSE(static_cast<bool>(Test)) << Init;
+    EXPECT_NE(Test.message().find("line"), std::string::npos) << Init;
+  }
+}
+
+TEST(Parser, SharedLocationDeclarations) {
+  // Locations appear by use, by init-only declaration, and by
+  // condition-only mention; all take part in outcomes, in first-use
+  // order (code, then init, then condition).
+  LitmusTest Test = parseOrDie(R"(
+SC locs
+{ b=5; a=1 }
+P0:
+  ld r1, a
+  st c, r1
+exists (c=1 /\ b=5 /\ d=0)
+)");
+  std::vector<std::string> Locs = Test.locations();
+  ASSERT_EQ(Locs.size(), 4u);
+  EXPECT_EQ(Locs[0], "a");
+  EXPECT_EQ(Locs[1], "c");
+  EXPECT_EQ(Locs[2], "b");
+  EXPECT_EQ(Locs[3], "d");
+  // The compiler interns the same set, so init-only/condition-only
+  // locations get initial writes and final-memory entries.
+  auto Compiled = CompiledTest::compile(Test);
+  ASSERT_TRUE(static_cast<bool>(Compiled)) << Compiled.message();
+  EXPECT_EQ(Compiled->skeleton().LocationNames.size(), 4u);
+}
+
+TEST(Parser, RegisterNaming) {
+  // Multi-digit registers parse; junk and overflowing names are errors,
+  // not crashes.
+  LitmusTest Test = parseOrDie("SC regs\nP0:\n  ld r12, x\n  mov r0, r12\n"
+                               "exists (0:r12=0)");
+  EXPECT_EQ(Test.Threads[0][0].Dst, 12);
+  for (const char *Line :
+       {"ld r, x", "ld rx, x", "ld r1x, x", "ld r99999999999999, x",
+        "ld x, x"}) {
+    std::string Text = std::string("SC bad\nP0:\n  ") + Line + "\n";
+    auto Bad = parseLitmus(Text);
+    EXPECT_FALSE(static_cast<bool>(Bad)) << Line;
+    EXPECT_NE(Bad.message().find("line"), std::string::npos) << Line;
+  }
+}
+
+TEST(Parser, RejectsMalformedImmediates) {
+  for (const char *Line : {"st x, #beef", "st x, #", "st x, #1x",
+                           "mov r1, #12345678901234567890"}) {
+    std::string Text = std::string("SC bad\nP0:\n  ") + Line + "\n";
+    auto Bad = parseLitmus(Text);
+    EXPECT_FALSE(static_cast<bool>(Bad)) << Line;
+  }
+}
+
+TEST(Parser, RejectsMalformedConditionAtoms) {
+  for (const char *Cond :
+       {"exists (0:r1=x)", "exists (abc:r1=0)", "exists (0:rx=0)",
+        "exists (=3)", "exists (99999999999:r1=0)"}) {
+    std::string Text = std::string("SC bad\nP0:\n  st x, #1\n") + Cond +
+                       "\n";
+    auto Bad = parseLitmus(Text);
+    EXPECT_FALSE(static_cast<bool>(Bad)) << Cond;
+  }
+}
+
+TEST(Parser, RejectsMalformedThreadHeader) {
+  auto Bad = parseLitmus("SC bad\nP1x:\n  st x, #1\n");
+  EXPECT_FALSE(static_cast<bool>(Bad));
+  EXPECT_NE(Bad.message().find("thread"), std::string::npos);
+}
+
 //===----------------------------------------------------------------------===//
 // Compiler: events, po, fences
 //===----------------------------------------------------------------------===//

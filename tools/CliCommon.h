@@ -1,0 +1,148 @@
+//===- CliCommon.h - Shared argument parsing for the cats CLIs -*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The argv-walking boilerplate every campaign CLI (cats_sweep,
+/// cats_repair, cats_mine, cats_diy, cats_run) used to duplicate: a
+/// cursor over the arguments with uniform "<tool>: ..." diagnostics for
+/// missing values, malformed numbers and unknown options. Tools keep
+/// their own flag dispatch (each vocabulary is different); the cursor
+/// owns the error-prone part.
+///
+/// Typical shape:
+///
+/// \code
+///   cli::ArgCursor Args("cats_foo", argc, argv);
+///   while (Args.next()) {
+///     if (Args.isHelp())
+///       return usage(argv[0]);
+///     if (Args.is("--jobs")) {
+///       if (!Args.unsignedValue(Jobs))
+///         return 2;
+///     } else if (Args.is("--models")) {
+///       if (!Args.commaList(ModelNames))
+///         return 2;
+///     } else if (Args.isFlag()) {
+///       Args.unknownOption();
+///       return usage(argv[0]);
+///     } else {
+///       Paths.push_back(Args.arg());
+///     }
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_TOOLS_CLICOMMON_H
+#define CATS_TOOLS_CLICOMMON_H
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cats {
+namespace cli {
+
+/// A cursor over argv with the cats tools' uniform error reporting.
+class ArgCursor {
+public:
+  ArgCursor(const char *Tool, int Argc, char **Argv)
+      : Tool(Tool), Argc(Argc), Argv(Argv) {}
+
+  /// Advances to the next argument; false at the end.
+  bool next() {
+    if (++Index >= Argc)
+      return false;
+    Current = Argv[Index];
+    return true;
+  }
+
+  /// The current argument.
+  const std::string &arg() const { return Current; }
+
+  bool is(const char *Flag) const { return Current == Flag; }
+  bool isHelp() const { return is("--help") || is("-h"); }
+
+  /// True when the current argument looks like an option rather than a
+  /// positional.
+  bool isFlag() const { return !Current.empty() && Current[0] == '-'; }
+
+  /// Consumes and returns the value of the current "--flag VALUE" pair;
+  /// nullptr (with a diagnostic) when argv is exhausted.
+  const char *value() {
+    Flag = Current;
+    if (Index + 1 >= Argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", Tool.c_str(),
+                   Flag.c_str());
+      return nullptr;
+    }
+    Current = Argv[++Index];
+    return Argv[Index];
+  }
+
+  /// Parses the current flag's value as an unsigned. Rejects zero unless
+  /// \p AllowZero; diagnoses and returns false on bad input.
+  bool unsignedValue(unsigned &Out, bool AllowZero = false) {
+    const char *V = value();
+    if (!V || !parseUnsignedArg(V, Out) || (!AllowZero && Out == 0)) {
+      if (V)
+        badValue(V);
+      return false;
+    }
+    return true;
+  }
+
+  /// The wide variant (counts, limits, seeds). Same zero policy as the
+  /// narrow overload — the two must not differ, or changing an option
+  /// variable's width would silently flip whether '--flag 0' parses.
+  bool unsignedValue(unsigned long long &Out, bool AllowZero = false) {
+    const char *V = value();
+    if (!V || !parseUnsignedArg(V, Out) || (!AllowZero && Out == 0)) {
+      if (V)
+        badValue(V);
+      return false;
+    }
+    return true;
+  }
+
+  /// Splits the current flag's value on commas (trimmed, empties
+  /// dropped) and appends the fields to \p Out.
+  bool commaList(std::vector<std::string> &Out) {
+    const char *V = value();
+    if (!V)
+      return false;
+    for (std::string &Item : splitTrimmedNonEmpty(V, ','))
+      Out.push_back(std::move(Item));
+    return true;
+  }
+
+  /// Diagnoses the current argument as an unknown option.
+  void unknownOption() const {
+    std::fprintf(stderr, "%s: unknown option %s\n", Tool.c_str(),
+                 Current.c_str());
+  }
+
+private:
+  void badValue(const char *V) const {
+    std::fprintf(stderr, "%s: bad %s value '%s'\n", Tool.c_str(),
+                 Flag.c_str(), V);
+  }
+
+  std::string Tool;
+  int Argc;
+  char **Argv;
+  int Index = 0;
+  std::string Current;
+  /// The flag a value() call belongs to, for diagnostics.
+  std::string Flag;
+};
+
+} // namespace cli
+} // namespace cats
+
+#endif // CATS_TOOLS_CLICOMMON_H

@@ -17,13 +17,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "CliCommon.h"
 #include "diy/Enumerate.h"
 #include "model/Registry.h"
 #include "support/StringUtils.h"
 #include "sweep/SweepEngine.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -85,94 +85,64 @@ int main(int argc, char **argv) {
   bool Synthesize = false, Sweep = false, Quiet = false;
   unsigned Jobs = 0, Batch = 64;
 
-  for (int I = 1; I < argc; ++I) {
-    const std::string Arg = argv[I];
-    auto NeedsValue = [&](const char *Flag) -> const char * {
-      if (I + 1 >= argc) {
-        std::fprintf(stderr, "cats_diy: %s needs a value\n", Flag);
-        return nullptr;
-      }
-      return argv[++I];
-    };
-    unsigned long long N = 0;
-    unsigned U = 0;
-    if (Arg == "--help" || Arg == "-h")
+  cli::ArgCursor Args("cats_diy", argc, argv);
+  while (Args.next()) {
+    if (Args.isHelp())
       return usage(argv[0]);
-    if (Arg == "--arch") {
-      const char *V = NeedsValue("--arch");
+    if (Args.is("--arch")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       ArchName = V;
-    } else if (Arg == "--size") {
-      const char *V = NeedsValue("--size");
-      if (!V || !parseUnsignedArg(V, U) || U == 0) {
-        std::fprintf(stderr, "cats_diy: bad --size value\n");
+    } else if (Args.is("--size")) {
+      if (!Args.unsignedValue(Opts.MaxEdges))
         return 2;
-      }
-      Opts.MaxEdges = U;
-    } else if (Arg == "--min-size") {
-      const char *V = NeedsValue("--min-size");
-      if (!V || !parseUnsignedArg(V, U) || U == 0) {
-        std::fprintf(stderr, "cats_diy: bad --min-size value\n");
+    } else if (Args.is("--min-size")) {
+      if (!Args.unsignedValue(Opts.MinEdges))
         return 2;
-      }
-      Opts.MinEdges = U;
-    } else if (Arg == "--limit") {
-      const char *V = NeedsValue("--limit");
-      if (!V || !parseUnsignedArg(V, N)) {
-        std::fprintf(stderr, "cats_diy: bad --limit value\n");
+    } else if (Args.is("--limit")) {
+      unsigned long long Limit = 0; // 0 = unlimited.
+      if (!Args.unsignedValue(Limit, /*AllowZero=*/true))
         return 2;
-      }
-      Opts.Limit = N;
-    } else if (Arg == "--filter") {
-      const char *V = NeedsValue("--filter");
+      Opts.Limit = Limit;
+    } else if (Args.is("--filter")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       Filter = V;
-    } else if (Arg == "--no-deps") {
+    } else if (Args.is("--no-deps")) {
       Opts.Dependencies = false;
-    } else if (Arg == "--no-fences") {
+    } else if (Args.is("--no-fences")) {
       Opts.Fences = false;
-    } else if (Arg == "--internal") {
+    } else if (Args.is("--internal")) {
       Opts.InternalCom = true;
-    } else if (Arg == "--synthesize") {
+    } else if (Args.is("--synthesize")) {
       Synthesize = true;
-    } else if (Arg == "--export") {
-      const char *V = NeedsValue("--export");
+    } else if (Args.is("--export")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       ExportDir = V;
-    } else if (Arg == "--sweep") {
+    } else if (Args.is("--sweep")) {
       Sweep = true;
-    } else if (Arg == "--models") {
-      const char *V = NeedsValue("--models");
-      if (!V)
+    } else if (Args.is("--models")) {
+      if (!Args.commaList(ModelNames))
         return 2;
-      for (std::string &Name : splitTrimmedNonEmpty(V, ','))
-        ModelNames.push_back(std::move(Name));
-    } else if (Arg == "--jobs") {
-      const char *V = NeedsValue("--jobs");
-      if (!V || !parseUnsignedArg(V, U) || U == 0) {
-        std::fprintf(stderr, "cats_diy: bad --jobs value\n");
+    } else if (Args.is("--jobs")) {
+      if (!Args.unsignedValue(Jobs))
         return 2;
-      }
-      Jobs = U;
-    } else if (Arg == "--batch") {
-      const char *V = NeedsValue("--batch");
-      if (!V || !parseUnsignedArg(V, U) || U == 0) {
-        std::fprintf(stderr, "cats_diy: bad --batch value\n");
+    } else if (Args.is("--batch")) {
+      if (!Args.unsignedValue(Batch))
         return 2;
-      }
-      Batch = U;
-    } else if (Arg == "--json") {
-      const char *V = NeedsValue("--json");
+    } else if (Args.is("--json")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       JsonPath = V;
-    } else if (Arg == "--quiet") {
+    } else if (Args.is("--quiet")) {
       Quiet = true;
     } else {
-      std::fprintf(stderr, "cats_diy: unknown option %s\n", Arg.c_str());
+      Args.unknownOption();
       return usage(argv[0]);
     }
   }

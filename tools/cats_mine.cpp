@@ -15,20 +15,22 @@
 ///   cats_mine litmus/                        # mine the on-disk corpus
 ///   cats_mine --diy power --size 4 --limit 200 --mole rcu
 ///   cats_mine --catalogue --models SC,Power --json mine.json
+///   cats_mine litmus/ --run --models TSO     # + observed-on-hardware
 ///
 //===----------------------------------------------------------------------===//
 
+#include "CliCommon.h"
 #include "diy/Enumerate.h"
 #include "model/Registry.h"
 #include "mole/Mine.h"
 #include "mole/MoleParser.h"
-#include "support/StringUtils.h"
+#include "run/RunEngine.h"
+#include "run/Verdict.h"
 #include "sweep/SweepEngine.h"
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -62,6 +64,13 @@ int usage(const char *Argv0) {
       "  --internal      include rfi/fri/wsi edges in --diy\n"
       "  --mole X        static-mine X: a .mole file or one of\n"
       "                  rcu | postgres | apache (repeatable)\n"
+      "  --run           also execute the corpus natively (src/run) and\n"
+      "                  add the observed-on-hardware column; exits 1 on\n"
+      "                  a soundness violation\n"
+      "  --iterations N  native executions per test for --run (100000)\n"
+      "  --seed N        native-run schedule seed (default: 42)\n"
+      "  --run-model M   reference model for --run (default: the host's\n"
+      "                  — TSO on x86)\n"
       "  --json FILE     write the cats-mine-report/1 JSON report\n"
       "  --quiet         suppress the family table\n"
       "  --help          this message\n",
@@ -74,91 +83,93 @@ int usage(const char *Argv0) {
 
 int main(int argc, char **argv) {
   unsigned Jobs = 0, Batch = 64;
-  bool UseCatalogue = false, Quiet = false;
-  std::string Filter, JsonPath, DiyArch;
+  bool UseCatalogue = false, Quiet = false, RunNative = false;
+  std::string Filter, JsonPath, DiyArch, RunModelName;
   EnumerateOptions DiyOpts;
   DiyOpts.MaxEdges = 4;
   DiyOpts.Limit = 500;
+  RunOptions RunOpts;
   std::vector<std::string> ModelNames, Paths, MolePrograms;
 
-  for (int I = 1; I < argc; ++I) {
-    const std::string Arg = argv[I];
-    auto NeedsValue = [&](const char *Flag) -> const char * {
-      if (I + 1 >= argc) {
-        std::fprintf(stderr, "cats_mine: %s needs a value\n", Flag);
-        return nullptr;
-      }
-      return argv[++I];
-    };
-    unsigned long long N = 0;
-    unsigned U = 0;
-    if (Arg == "--help" || Arg == "-h")
+  cli::ArgCursor Args("cats_mine", argc, argv);
+  while (Args.next()) {
+    if (Args.isHelp())
       return usage(argv[0]);
-    if (Arg == "--models") {
-      const char *V = NeedsValue("--models");
-      if (!V)
+    if (Args.is("--models")) {
+      if (!Args.commaList(ModelNames))
         return 2;
-      for (std::string &Name : splitTrimmedNonEmpty(V, ','))
-        ModelNames.push_back(std::move(Name));
-    } else if (Arg == "--jobs") {
-      const char *V = NeedsValue("--jobs");
-      if (!V || !parseUnsignedArg(V, U) || U == 0) {
-        std::fprintf(stderr, "cats_mine: bad --jobs value\n");
+    } else if (Args.is("--jobs")) {
+      if (!Args.unsignedValue(Jobs))
         return 2;
-      }
-      Jobs = U;
-    } else if (Arg == "--batch") {
-      const char *V = NeedsValue("--batch");
-      if (!V || !parseUnsignedArg(V, U) || U == 0) {
-        std::fprintf(stderr, "cats_mine: bad --batch value\n");
+    } else if (Args.is("--batch")) {
+      if (!Args.unsignedValue(Batch))
         return 2;
-      }
-      Batch = U;
-    } else if (Arg == "--filter") {
-      const char *V = NeedsValue("--filter");
+    } else if (Args.is("--filter")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       Filter = V;
-    } else if (Arg == "--catalogue" || Arg == "--catalog") {
+    } else if (Args.is("--catalogue") || Args.is("--catalog")) {
       UseCatalogue = true;
-    } else if (Arg == "--diy") {
-      const char *V = NeedsValue("--diy");
+    } else if (Args.is("--diy")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       DiyArch = V;
-    } else if (Arg == "--size") {
-      const char *V = NeedsValue("--size");
-      if (!V || !parseUnsignedArg(V, U) || U == 0) {
-        std::fprintf(stderr, "cats_mine: bad --size value\n");
+    } else if (Args.is("--size")) {
+      if (!Args.unsignedValue(DiyOpts.MaxEdges))
         return 2;
-      }
-      DiyOpts.MaxEdges = U;
-    } else if (Arg == "--limit") {
-      const char *V = NeedsValue("--limit");
-      if (!V || !parseUnsignedArg(V, N)) {
-        std::fprintf(stderr, "cats_mine: bad --limit value\n");
+    } else if (Args.is("--limit")) {
+      unsigned long long Limit = 0; // 0 = unlimited.
+      if (!Args.unsignedValue(Limit, /*AllowZero=*/true))
         return 2;
-      }
-      DiyOpts.Limit = N;
-    } else if (Arg == "--internal") {
+      DiyOpts.Limit = Limit;
+    } else if (Args.is("--internal")) {
       DiyOpts.InternalCom = true;
-    } else if (Arg == "--mole") {
-      const char *V = NeedsValue("--mole");
+    } else if (Args.is("--mole")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       MolePrograms.push_back(V);
-    } else if (Arg == "--json") {
-      const char *V = NeedsValue("--json");
+    } else if (Args.is("--run")) {
+      RunNative = true;
+    } else if (Args.is("--iterations")) {
+      if (!Args.unsignedValue(RunOpts.Iterations))
+        return 2;
+    } else if (Args.is("--seed")) {
+      unsigned long long Seed = 0;
+      if (!Args.unsignedValue(Seed, /*AllowZero=*/true))
+        return 2;
+      RunOpts.Seed = Seed;
+    } else if (Args.is("--run-model")) {
+      const char *V = Args.value();
+      if (!V)
+        return 2;
+      RunModelName = V;
+    } else if (Args.is("--json")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       JsonPath = V;
-    } else if (Arg == "--quiet") {
+    } else if (Args.is("--quiet")) {
       Quiet = true;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "cats_mine: unknown option %s\n", Arg.c_str());
+    } else if (Args.isFlag()) {
+      Args.unknownOption();
       return usage(argv[0]);
     } else {
-      Paths.push_back(Arg);
+      Paths.push_back(Args.arg());
+    }
+  }
+
+  // Resolve the --run reference model up front.
+  const Model *RunModel = nullptr;
+  if (RunNative) {
+    RunModel = RunModelName.empty() ? &hostReferenceModel()
+                                    : modelByName(RunModelName);
+    if (!RunModel) {
+      std::fprintf(stderr, "cats_mine: unknown model '%s'\n",
+                   RunModelName.c_str());
+      return 2;
     }
   }
 
@@ -196,12 +207,23 @@ int main(int argc, char **argv) {
     UseCatalogue = true;
 
   // Sweep the corpus: files/catalogue first, then the diy slice, both
-  // streamed in batches.
+  // streamed in batches. With --run, the streamed tests are teed into a
+  // corpus for the native execution pass (the only place the whole
+  // corpus materializes, which --run implies anyway).
   SweepEngine Engine(SweepOptions{Jobs});
   SweepReport Report;
   std::vector<std::string> LoadErrors;
+  std::vector<LitmusTest> RunCorpus;
   auto SweepInto = [&](const TestSource &Source) {
-    SweepReport Part = Engine.runStreamed(Source, Models, Batch);
+    TestSource Teed = Source;
+    if (RunNative)
+      Teed = [&RunCorpus, Source](LitmusTest &Out) -> bool {
+        if (!Source(Out))
+          return false;
+        RunCorpus.push_back(Out);
+        return true;
+      };
+    SweepReport Part = Engine.runStreamed(Teed, Models, Batch);
     for (SweepTestResult &T : Part.Tests)
       Report.Tests.push_back(std::move(T));
     Report.Jobs = std::max(Report.Jobs, Part.Jobs);
@@ -239,20 +261,69 @@ int main(int argc, char **argv) {
   for (const MoleProgram &Program : Programs)
     Mined.StaticReports.push_back(analyzeProgram(Program));
 
+  // The native execution pass: run the teed corpus on this machine and
+  // attach the observed-on-hardware column next to the model verdicts.
+  // The sweep above already enumerated every test's candidate space, so
+  // when it covered the run model and SC the judge reuses its results
+  // instead of enumerating a second time.
+  bool RunUnsound = false;
+  if (RunNative) {
+    std::map<std::string, const MultiSimulationResult *> Swept;
+    for (const SweepTestResult &T : Report.Tests)
+      if (T.Error.empty())
+        Swept.emplace(T.TestName, &T.Result);
+    RunEngine NativeEngine(RunOpts);
+    RunReport Run = NativeEngine.run(
+        RunCorpus, *RunModel,
+        [&Swept](const std::string &Name) -> const MultiSimulationResult * {
+          auto It = Swept.find(Name);
+          return It == Swept.end() ? nullptr : It->second;
+        });
+    attachEmpirical(Mined, Run);
+    for (const RunTestResult &T : Run.Tests) {
+      if (!T.Error.empty())
+        std::fprintf(stderr, "cats_mine: native run: %s: %s\n",
+                     T.TestName.c_str(), T.Error.c_str());
+      else if (!T.sound())
+        std::fprintf(stderr,
+                     "cats_mine: SOUNDNESS: %s observed %llu outcome(s) "
+                     "outside %s\n",
+                     T.TestName.c_str(),
+                     T.OutsideModel + T.OutsideEnumeration,
+                     Run.ModelName.c_str());
+      if (!T.sound())
+        RunUnsound = true;
+    }
+  }
+
   // The family table.
   if (!Quiet) {
     if (!Mined.Families.empty()) {
       std::printf("%-16s %6s", "family", "tests");
       for (const std::string &Model : Mined.Models)
         std::printf(" %16s", Model.c_str());
+      if (Mined.HasEmpirical)
+        std::printf(" %16s", "observed(hw)");
       std::printf("\n");
       for (const FamilyVerdicts &F : Mined.Families) {
         std::printf("%-16s %6u", F.Family.c_str(), F.Tests);
         for (const FamilyModelStats &S : F.PerModel)
           std::printf(" %8u/%-7u", S.Allowed, S.Forbidden);
+        if (Mined.HasEmpirical) {
+          if (F.HasEmpirical)
+            std::printf(" %8u/%-7u", F.Empirical.Observed,
+                        F.Empirical.Tests);
+          else
+            std::printf(" %16s", "-");
+        }
         std::printf("\n");
       }
-      std::printf("(columns are allowed/forbidden test counts)\n");
+      std::printf("(columns are allowed/forbidden test counts");
+      if (Mined.HasEmpirical)
+        std::printf("; observed(hw) is exists-clause-seen/run on %s vs %s",
+                    Mined.EmpiricalHost.c_str(),
+                    Mined.EmpiricalModel.c_str());
+      std::printf(")\n");
     }
     for (const MoleReport &Static : Mined.StaticReports) {
       std::printf("\nstatic %s: %zu group(s), %zu cycle(s)\n",
@@ -289,5 +360,5 @@ int main(int argc, char **argv) {
       std::printf("wrote %s\n", JsonPath.c_str());
   }
 
-  return (!LoadErrors.empty() || Mined.CorpusErrors) ? 1 : 0;
+  return (!LoadErrors.empty() || Mined.CorpusErrors || RunUnsound) ? 1 : 0;
 }

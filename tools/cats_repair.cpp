@@ -20,14 +20,12 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "CliCommon.h"
 #include "diy/Diy.h"
 #include "litmus/TestFilter.h"
 #include "model/Registry.h"
 #include "repair/RepairEngine.h"
-#include "support/StringUtils.h"
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -80,35 +78,20 @@ int main(int argc, char **argv) {
   std::string JsonPath, Filter, ModelName, BatteryArch;
   std::vector<std::string> Paths;
 
-  for (int I = 1; I < argc; ++I) {
-    const std::string Arg = argv[I];
-    auto NeedsValue = [&](const char *Flag) -> const char * {
-      if (I + 1 >= argc) {
-        std::fprintf(stderr, "cats_repair: %s needs a value\n", Flag);
-        return nullptr;
-      }
-      return argv[++I];
-    };
-    if (Arg == "--help" || Arg == "-h")
+  cli::ArgCursor Args("cats_repair", argc, argv);
+  while (Args.next()) {
+    if (Args.isHelp())
       return usage(argv[0]);
-    if (Arg == "--jobs") {
-      const char *V = NeedsValue("--jobs");
-      if (!V)
+    if (Args.is("--jobs")) {
+      if (!Args.unsignedValue(Opts.Jobs))
         return 2;
-      char *End = nullptr;
-      long N = std::strtol(V, &End, 10);
-      if (*End || N < 1) {
-        std::fprintf(stderr, "cats_repair: bad --jobs value '%s'\n", V);
-        return 2;
-      }
-      Opts.Jobs = static_cast<unsigned>(N);
-    } else if (Arg == "--model") {
-      const char *V = NeedsValue("--model");
+    } else if (Args.is("--model")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       ModelName = V;
-    } else if (Arg == "--goal") {
-      const char *V = NeedsValue("--goal");
+    } else if (Args.is("--goal")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       if (std::strcmp(V, "forbid") == 0) {
@@ -120,46 +103,37 @@ int main(int argc, char **argv) {
                              "(forbid or sc)\n", V);
         return 2;
       }
-    } else if (Arg == "--filter") {
-      const char *V = NeedsValue("--filter");
+    } else if (Args.is("--filter")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       Filter = V;
-    } else if (Arg == "--battery") {
-      const char *V = NeedsValue("--battery");
+    } else if (Args.is("--battery")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       BatteryArch = V;
-    } else if (Arg == "--max-per-family") {
-      const char *V = NeedsValue("--max-per-family");
-      if (!V)
+    } else if (Args.is("--max-per-family")) {
+      if (!Args.unsignedValue(MaxPerFamily, /*AllowZero=*/true))
         return 2;
-      char *End = nullptr;
-      long N = std::strtol(V, &End, 10);
-      if (*End || N < 0) {
-        std::fprintf(stderr, "cats_repair: bad --max-per-family value "
-                             "'%s'\n", V);
-        return 2;
-      }
-      MaxPerFamily = static_cast<unsigned>(N);
-    } else if (Arg == "--all-minimal") {
+    } else if (Args.is("--all-minimal")) {
       AllMinimal = true;
-    } else if (Arg == "--ww-fences") {
+    } else if (Args.is("--ww-fences")) {
       Opts.IncludeWWOnlyFences = true;
-    } else if (Arg == "--catalogue" || Arg == "--catalog") {
+    } else if (Args.is("--catalogue") || Args.is("--catalog")) {
       UseCatalogue = true;
-    } else if (Arg == "--json") {
-      const char *V = NeedsValue("--json");
+    } else if (Args.is("--json")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       JsonPath = V;
-    } else if (Arg == "--quiet") {
+    } else if (Args.is("--quiet")) {
       Quiet = true;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "cats_repair: unknown option %s\n", Arg.c_str());
+    } else if (Args.isFlag()) {
+      Args.unknownOption();
       return usage(argv[0]);
     } else {
-      Paths.push_back(Arg);
+      Paths.push_back(Args.arg());
     }
   }
 
@@ -179,10 +153,7 @@ int main(int argc, char **argv) {
   std::vector<LitmusTest> Battery;
   if (!BatteryArch.empty()) {
     Arch A;
-    std::string Upper = BatteryArch;
-    std::transform(Upper.begin(), Upper.end(), Upper.begin(),
-                   [](unsigned char C) { return std::toupper(C); });
-    if (!parseArch(BatteryArch, A) && !parseArch(Upper, A)) {
+    if (!parseArch(BatteryArch, A)) {
       std::fprintf(stderr, "cats_repair: unknown architecture '%s'\n",
                    BatteryArch.c_str());
       return 2;

@@ -1,0 +1,226 @@
+//===- cats_run.cpp - Native litmus runner CLI ----------------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardware-testing CLI over src/run (docs/running.md): execute
+/// litmus tests as real concurrent code — relaxed std::atomic accesses,
+/// genuine host fences and dependency chains, a litmus7-style batched
+/// harness — and cross-check every observed outcome against a reference
+/// model. A nonzero exit means a load failure or a soundness violation
+/// (an outcome the model forbids was observed), which is what the CI
+/// smoke job gates on.
+///
+///   cats_run litmus/                      # whole corpus, host model
+///   cats_run --filter 'sb|mp|lb' --iterations 200000 litmus/
+///   cats_run --catalogue --model TSO --seed 7 --json report.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "CliCommon.h"
+#include "litmus/TestFilter.h"
+#include "model/Registry.h"
+#include "run/RunEngine.h"
+#include "run/Verdict.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace cats;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [<file.litmus>|<dir>]...\n"
+      "\n"
+      "Executes litmus tests as native concurrent code (relaxed atomics,\n"
+      "real host fences, preserved dependency chains) and checks that\n"
+      "every outcome observed on this machine is allowed by a reference\n"
+      "model. Exit status 1 reports a soundness violation.\n"
+      "\n"
+      "Inputs: .litmus files, directories (scanned for *.litmus), and/or\n"
+      "the built-in figure catalogue. With no input, the catalogue runs.\n"
+      "\n"
+      "options:\n"
+      "  --iterations N  executions sampled per test (default: 100000)\n"
+      "  --jobs N        cores used for pinning (default: hardware)\n"
+      "  --seed N        schedule seed (default: 42); fixed seed =>\n"
+      "                  identical schedules and histogram bucket order\n"
+      "  --batch N       preallocated test instances per round (512)\n"
+      "  --schedule S    shuffle | stride | seq (default: shuffle)\n"
+      "  --no-pin        do not pin worker threads by affinity\n"
+      "  --model NAME    reference model (default: the host's — TSO on\n"
+      "                  x86, ARM on aarch64, else Power)\n"
+      "  --filter REGEX  keep only tests whose name matches\n"
+      "  --catalogue     add the built-in figure catalogue to the inputs\n"
+      "  --histogram     print each test's outcome histogram\n"
+      "  --json FILE     write the cats-run-report/1 JSON report\n"
+      "  --quiet         suppress the summary table\n"
+      "  --help          this message\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  RunOptions Opts;
+  bool UseCatalogue = false, Histogram = false, Quiet = false;
+  std::string Filter, JsonPath, ModelName;
+  std::vector<std::string> Paths;
+
+  cli::ArgCursor Args("cats_run", argc, argv);
+  while (Args.next()) {
+    if (Args.isHelp())
+      return usage(argv[0]);
+    if (Args.is("--iterations")) {
+      if (!Args.unsignedValue(Opts.Iterations))
+        return 2;
+    } else if (Args.is("--jobs")) {
+      if (!Args.unsignedValue(Opts.Jobs))
+        return 2;
+    } else if (Args.is("--seed")) {
+      unsigned long long Seed = 0;
+      if (!Args.unsignedValue(Seed, /*AllowZero=*/true))
+        return 2;
+      Opts.Seed = Seed;
+    } else if (Args.is("--batch")) {
+      if (!Args.unsignedValue(Opts.BatchSize))
+        return 2;
+    } else if (Args.is("--schedule")) {
+      const char *V = Args.value();
+      if (!V)
+        return 2;
+      if (!parseScheduleKind(V, Opts.Schedule)) {
+        std::fprintf(stderr,
+                     "cats_run: unknown schedule '%s' (shuffle, stride, "
+                     "seq)\n",
+                     V);
+        return 2;
+      }
+    } else if (Args.is("--no-pin")) {
+      Opts.Pin = false;
+    } else if (Args.is("--model")) {
+      const char *V = Args.value();
+      if (!V)
+        return 2;
+      ModelName = V;
+    } else if (Args.is("--filter")) {
+      const char *V = Args.value();
+      if (!V)
+        return 2;
+      Filter = V;
+    } else if (Args.is("--catalogue") || Args.is("--catalog")) {
+      UseCatalogue = true;
+    } else if (Args.is("--histogram")) {
+      Histogram = true;
+    } else if (Args.is("--json")) {
+      const char *V = Args.value();
+      if (!V)
+        return 2;
+      JsonPath = V;
+    } else if (Args.is("--quiet")) {
+      Quiet = true;
+    } else if (Args.isFlag()) {
+      Args.unknownOption();
+      return usage(argv[0]);
+    } else {
+      Paths.push_back(Args.arg());
+    }
+  }
+
+  // Resolve the reference model.
+  const Model *Reference = nullptr;
+  if (ModelName.empty()) {
+    Reference = &hostReferenceModel();
+  } else {
+    Reference = modelByName(ModelName);
+    if (!Reference) {
+      std::fprintf(stderr, "cats_run: unknown model '%s'\n",
+                   ModelName.c_str());
+      return 2;
+    }
+  }
+
+  // Gather the tests.
+  if (Paths.empty() && !UseCatalogue)
+    UseCatalogue = true;
+  auto Loaded = loadCampaignTests(Paths, UseCatalogue, Filter);
+  if (!Loaded) {
+    std::fprintf(stderr, "cats_run: %s\n", Loaded.message().c_str());
+    return 2;
+  }
+  for (const std::string &Problem : Loaded->Errors)
+    std::fprintf(stderr, "cats_run: %s\n", Problem.c_str());
+  const bool LoadFailed = !Loaded->Errors.empty();
+  std::vector<LitmusTest> Tests = std::move(Loaded->Tests);
+  if (Tests.empty()) {
+    std::fprintf(stderr, "cats_run: no tests to run\n");
+    return 2;
+  }
+
+  // Run.
+  RunEngine Engine(Opts);
+  RunReport Report = Engine.run(Tests, *Reference);
+
+  if (!Quiet) {
+    std::printf("%-34s %10s %8s %-7s %-9s %8s %8s\n", "test", "iters",
+                "distinct", Reference->name().c_str(), "observed",
+                "relaxed", "unsound");
+    for (const RunTestResult &T : Report.Tests) {
+      if (!T.Error.empty()) {
+        std::printf("%-34s  ERROR: %s\n", T.TestName.c_str(),
+                    T.Error.c_str());
+        continue;
+      }
+      std::printf("%-34s %10llu %8zu %-7s %-9s %8llu %8llu\n",
+                  T.TestName.c_str(), T.Iterations, T.Histogram.size(),
+                  T.ConditionAllowedByModel ? "Allow" : "Forbid",
+                  T.ConditionObserved ? "yes" : "no", T.OutsideSc,
+                  T.OutsideModel + T.OutsideEnumeration);
+    }
+    std::printf("\n%zu test(s) x %llu iteration(s), host %s, model %s, "
+                "%u core(s), seed %llu, %s schedule, %.3fs\n",
+                Report.Tests.size(), Report.Iterations,
+                Report.Host.c_str(), Report.ModelName.c_str(), Report.Jobs,
+                static_cast<unsigned long long>(Report.Seed),
+                scheduleName(Report.Schedule), Report.WallSeconds);
+    std::printf("soundness: %s\n",
+                Report.allSound()
+                    ? "every observed outcome is model-allowed"
+                    : "VIOLATION — outcomes outside the model observed");
+  }
+
+  if (Histogram) {
+    for (const RunTestResult &T : Report.Tests) {
+      if (!T.Error.empty())
+        continue;
+      std::printf("\n%s (%zu distinct outcome(s)):\n", T.TestName.c_str(),
+                  T.Histogram.size());
+      for (const RunBucket &B : T.Histogram)
+        std::printf("  %10llu  %s%s%s%s\n", B.Count, B.Key.c_str(),
+                    B.MatchesFinal ? "  <- exists-clause" : "",
+                    !B.AllowedBySc && B.AllowedByModel ? "  (relaxed)" : "",
+                    !B.AllowedByModel ? "  (FORBIDDEN by model)" : "");
+    }
+  }
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "cats_run: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    Out << runReportToJson(Report).dump();
+    if (!Quiet)
+      std::printf("wrote %s\n", JsonPath.c_str());
+  }
+
+  return (LoadFailed || !Report.allSound()) ? 1 : 0;
+}

@@ -18,13 +18,12 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "CliCommon.h"
 #include "litmus/TestFilter.h"
 #include "model/Registry.h"
-#include "support/StringUtils.h"
 #include "sweep/SweepEngine.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -69,53 +68,37 @@ int main(int argc, char **argv) {
   std::vector<std::string> ModelNames;
   std::vector<std::string> Paths;
 
-  for (int I = 1; I < argc; ++I) {
-    const std::string Arg = argv[I];
-    auto NeedsValue = [&](const char *Flag) -> const char * {
-      if (I + 1 >= argc) {
-        std::fprintf(stderr, "cats_sweep: %s needs a value\n", Flag);
-        return nullptr;
-      }
-      return argv[++I];
-    };
-    if (Arg == "--help" || Arg == "-h")
+  cli::ArgCursor Args("cats_sweep", argc, argv);
+  while (Args.next()) {
+    if (Args.isHelp())
       return usage(argv[0]);
-    if (Arg == "--jobs") {
-      const char *V = NeedsValue("--jobs");
-      unsigned U = 0;
-      if (!V || !parseUnsignedArg(V, U) || U == 0) {
-        std::fprintf(stderr, "cats_sweep: bad --jobs value '%s'\n",
-                     V ? V : "");
+    if (Args.is("--jobs")) {
+      if (!Args.unsignedValue(Jobs))
         return 2;
-      }
-      Jobs = U;
-    } else if (Arg == "--models") {
-      const char *V = NeedsValue("--models");
-      if (!V)
+    } else if (Args.is("--models")) {
+      if (!Args.commaList(ModelNames))
         return 2;
-      for (std::string &Name : splitTrimmedNonEmpty(V, ','))
-        ModelNames.push_back(std::move(Name));
-    } else if (Arg == "--filter") {
-      const char *V = NeedsValue("--filter");
+    } else if (Args.is("--filter")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       Filter = V;
-    } else if (Arg == "--catalogue" || Arg == "--catalog") {
+    } else if (Args.is("--catalogue") || Args.is("--catalog")) {
       UseCatalogue = true;
-    } else if (Arg == "--json") {
-      const char *V = NeedsValue("--json");
+    } else if (Args.is("--json")) {
+      const char *V = Args.value();
       if (!V)
         return 2;
       JsonPath = V;
-    } else if (Arg == "--herd") {
+    } else if (Args.is("--herd")) {
       Herd = true;
-    } else if (Arg == "--quiet") {
+    } else if (Args.is("--quiet")) {
       Quiet = true;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "cats_sweep: unknown option %s\n", Arg.c_str());
+    } else if (Args.isFlag()) {
+      Args.unknownOption();
       return usage(argv[0]);
     } else {
-      Paths.push_back(Arg);
+      Paths.push_back(Args.arg());
     }
   }
 
