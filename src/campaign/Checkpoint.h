@@ -1,0 +1,110 @@
+//===- Checkpoint.h - Campaign checkpoint/resume files --------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-tolerant progress files for long campaigns (docs/campaigns.md).
+/// A checkpoint is an append-only JSONL file:
+///
+///   {"schema":"cats-checkpoint/1","campaign":"<id>"}     header, line 1
+///   {"entry":{...cats-sweep-report/1 test entry...}}      one per test
+///   {"progress":{"consumed":N,"hits":H,"misses":M}}       one per batch
+///
+/// The engine's OnBatch hook appends each batch's entries followed by one
+/// progress line and flushes, so a kill at any moment loses at most the
+/// in-flight batch: loading trims to the last progress line (entries past
+/// it were appended by an interrupted batch write and are re-judged on
+/// resume). Appending keeps the per-batch cost O(batch), not O(campaign)
+/// — rewriting a whole-report snapshot every batch would be quadratic
+/// over a million-test campaign.
+///
+/// The campaign id ties a checkpoint to the exact work it describes: a
+/// hash of every flag that shapes the stream (inputs, filter, models,
+/// shard, batch size, ...). --resume refuses a checkpoint whose id does
+/// not match the current command line, so a resumed campaign can never
+/// silently mix two different corpora.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_CAMPAIGN_CHECKPOINT_H
+#define CATS_CAMPAIGN_CHECKPOINT_H
+
+#include "support/Error.h"
+#include "sweep/SweepEngine.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// Derives the campaign id from the determinism-relevant flag spec
+/// \p Spec (a "key=value;..." string the CLI assembles).
+std::string campaignId(const std::string &Spec);
+
+/// What a checkpoint file holds after trimming to the last completed
+/// batch.
+struct CheckpointState {
+  /// Source tests consumed (== Tests.size(); every consumed test yields
+  /// exactly one report entry — judged, cache hit, or error).
+  unsigned long long Consumed = 0;
+  /// Cache counters at the last completed batch.
+  unsigned long long CacheHits = 0;
+  unsigned long long CacheMisses = 0;
+  /// The completed entries, in source order.
+  std::vector<SweepTestResult> Tests;
+};
+
+/// Loads and validates \p Path. Fails on a missing/garbled header or a
+/// campaign-id mismatch; tolerates (and trims) a torn tail.
+Expected<CheckpointState> loadCheckpoint(const std::string &Path,
+                                         const std::string &CampaignId);
+
+/// Appends batches to a checkpoint file.
+class CheckpointWriter {
+public:
+  /// Starts a fresh checkpoint at \p Path (truncating any previous one).
+  static Expected<CheckpointWriter> create(const std::string &Path,
+                                           const std::string &CampaignId);
+
+  /// Reopens \p Path for appending after a resume. The caller must have
+  /// loadCheckpoint-validated it first.
+  static Expected<CheckpointWriter> append(const std::string &Path);
+
+  /// Appends \p Batch (the report entries the last batch added) and a
+  /// progress line with the cumulative totals, then flushes.
+  Status appendBatch(const std::vector<SweepTestResult> &Batch,
+                     unsigned long long Consumed, unsigned long long Hits,
+                     unsigned long long Misses);
+
+  /// Removes the checkpoint file (campaign completed).
+  static void remove(const std::string &Path);
+
+  CheckpointWriter(CheckpointWriter &&Other) noexcept
+      : File(Other.File), Path(std::move(Other.Path)) {
+    Other.File = nullptr;
+  }
+  CheckpointWriter &operator=(CheckpointWriter &&Other) noexcept {
+    if (this != &Other) {
+      close();
+      File = Other.File;
+      Path = std::move(Other.Path);
+      Other.File = nullptr;
+    }
+    return *this;
+  }
+  ~CheckpointWriter() { close(); }
+
+private:
+  explicit CheckpointWriter(std::FILE *File, std::string Path)
+      : File(File), Path(std::move(Path)) {}
+  void close();
+  std::FILE *File = nullptr;
+  std::string Path;
+};
+
+} // namespace cats
+
+#endif // CATS_CAMPAIGN_CHECKPOINT_H

@@ -199,6 +199,186 @@ JsonValue staticToJson(const MoleReport &R, const MineReport &Mine) {
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// Reader and shard merge
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+unsigned long long jsonCount(const JsonValue &Obj, const char *Key) {
+  const JsonValue *V = Obj.get(Key);
+  return V && V->isNumber() ? static_cast<unsigned long long>(V->asNumber())
+                            : 0;
+}
+
+std::string jsonString(const JsonValue &Obj, const char *Key) {
+  const JsonValue *V = Obj.get(Key);
+  return V && V->isString() ? V->asString() : std::string();
+}
+
+Expected<FamilyVerdicts> familyFromJson(const JsonValue &Entry) {
+  using Ret = Expected<FamilyVerdicts>;
+  if (!Entry.isObject())
+    return Ret::error("family entry is not an object");
+  FamilyVerdicts F;
+  F.Family = jsonString(Entry, "family");
+  if (F.Family.empty())
+    return Ret::error("family entry without a name");
+  F.Tests = static_cast<unsigned>(jsonCount(Entry, "tests"));
+  const JsonValue *Models = Entry.get("models");
+  if (!Models || !Models->isArray())
+    return Ret::error(F.Family + ": family without a 'models' array");
+  for (const JsonValue &M : Models->elements()) {
+    if (!M.isObject())
+      return Ret::error(F.Family + ": model entry is not an object");
+    FamilyModelStats S;
+    S.Model = jsonString(M, "model");
+    if (S.Model.empty())
+      return Ret::error(F.Family + ": model entry without a name");
+    S.Allowed = static_cast<unsigned>(jsonCount(M, "allowed"));
+    S.Forbidden = static_cast<unsigned>(jsonCount(M, "forbidden"));
+    F.PerModel.push_back(std::move(S));
+  }
+  if (const JsonValue *Empirical = Entry.get("empirical")) {
+    if (!Empirical->isObject())
+      return Ret::error(F.Family + ": 'empirical' is not an object");
+    F.HasEmpirical = true;
+    F.Empirical.Tests = static_cast<unsigned>(jsonCount(*Empirical, "tests"));
+    F.Empirical.Observed =
+        static_cast<unsigned>(jsonCount(*Empirical, "observed"));
+    F.Empirical.Iterations = jsonCount(*Empirical, "iterations");
+    F.Empirical.OutsideModel = jsonCount(*Empirical, "outside_model");
+  }
+  if (const JsonValue *Names = Entry.get("test_names")) {
+    if (!Names->isArray())
+      return Ret::error(F.Family + ": 'test_names' is not an array");
+    for (const JsonValue &Name : Names->elements())
+      if (Name.isString())
+        F.TestNames.push_back(Name.asString());
+  }
+  return F;
+}
+
+} // namespace
+
+Expected<MineReport> cats::mineReportFromJson(const JsonValue &Root) {
+  using Ret = Expected<MineReport>;
+  if (!Root.isObject())
+    return Ret::error("report is not a JSON object");
+  if (jsonString(Root, "schema") != "cats-mine-report/1")
+    return Ret::error("not a cats-mine-report/1 document");
+  const JsonValue *Static = Root.get("static");
+  if (Static && Static->isArray() && !Static->elements().empty())
+    return Ret::error(
+        "report carries static mole analyses, which cannot be merged "
+        "shard-wise; re-run cats_mine --mole over the merged corpus");
+  const JsonValue *Corpus = Root.get("corpus");
+  if (!Corpus || !Corpus->isObject())
+    return Ret::error("report without a 'corpus' object");
+
+  MineReport Out;
+  Out.CorpusTests = static_cast<unsigned>(jsonCount(*Corpus, "tests"));
+  Out.CorpusErrors = static_cast<unsigned>(jsonCount(*Corpus, "errors"));
+  if (const JsonValue *Models = Corpus->get("models")) {
+    if (!Models->isArray())
+      return Ret::error("'models' is not an array");
+    for (const JsonValue &M : Models->elements())
+      if (M.isString())
+        Out.Models.push_back(M.asString());
+  }
+  Out.EmpiricalModel = jsonString(*Corpus, "empirical_model");
+  Out.EmpiricalHost = jsonString(*Corpus, "empirical_host");
+  Out.HasEmpirical = !Out.EmpiricalModel.empty();
+  if (const JsonValue *Families = Corpus->get("families")) {
+    if (!Families->isArray())
+      return Ret::error("'families' is not an array");
+    for (const JsonValue &Entry : Families->elements()) {
+      auto F = familyFromJson(Entry);
+      if (!F)
+        return Ret::error(F.message());
+      Out.Families.push_back(F.take());
+    }
+  }
+  return Out;
+}
+
+Expected<MineReport>
+cats::mergeMineReports(const std::vector<MineReport> &Parts) {
+  using Ret = Expected<MineReport>;
+  if (Parts.empty())
+    return Ret::error("nothing to merge");
+
+  MineReport Out;
+  std::map<std::string, FamilyVerdicts> ByFamily;
+  for (const MineReport &Part : Parts) {
+    Out.CorpusTests += Part.CorpusTests;
+    Out.CorpusErrors += Part.CorpusErrors;
+    // A shard whose every test errored has no model list; any shard that
+    // judged at least one test pins it, and the rest must agree.
+    if (!Part.Models.empty()) {
+      if (Out.Models.empty())
+        Out.Models = Part.Models;
+      else if (Out.Models != Part.Models)
+        return Ret::error(
+            "model lists differ across reports ('" +
+            joinStrings(Out.Models, ",") + "' vs '" +
+            joinStrings(Part.Models, ",") + "'); shards of one campaign "
+            "must sweep the same models in the same order");
+    }
+    if (Part.HasEmpirical) {
+      if (!Out.HasEmpirical) {
+        Out.HasEmpirical = true;
+        Out.EmpiricalModel = Part.EmpiricalModel;
+        Out.EmpiricalHost = Part.EmpiricalHost;
+      } else if (Out.EmpiricalModel != Part.EmpiricalModel ||
+                 Out.EmpiricalHost != Part.EmpiricalHost) {
+        return Ret::error("empirical columns were judged against different "
+                          "references ('" + Out.EmpiricalModel + "' on '" +
+                          Out.EmpiricalHost + "' vs '" + Part.EmpiricalModel +
+                          "' on '" + Part.EmpiricalHost + "')");
+      }
+    }
+
+    for (const FamilyVerdicts &F : Part.Families) {
+      FamilyVerdicts &Merged = ByFamily[F.Family];
+      if (Merged.Family.empty()) {
+        Merged.Family = F.Family;
+        Merged.PerModel = F.PerModel;
+        for (FamilyModelStats &S : Merged.PerModel)
+          S.Allowed = S.Forbidden = 0;
+      }
+      Merged.Tests += F.Tests;
+      for (const FamilyModelStats &S : F.PerModel) {
+        bool Found = false;
+        for (FamilyModelStats &M : Merged.PerModel)
+          if (M.Model == S.Model) {
+            M.Allowed += S.Allowed;
+            M.Forbidden += S.Forbidden;
+            Found = true;
+            break;
+          }
+        if (!Found)
+          return Ret::error(F.Family + ": model '" + S.Model +
+                            "' appears in only some shards");
+      }
+      Merged.TestNames.insert(Merged.TestNames.end(), F.TestNames.begin(),
+                              F.TestNames.end());
+      if (F.HasEmpirical) {
+        Merged.HasEmpirical = true;
+        Merged.Empirical.Tests += F.Empirical.Tests;
+        Merged.Empirical.Observed += F.Empirical.Observed;
+        Merged.Empirical.Iterations += F.Empirical.Iterations;
+        Merged.Empirical.OutsideModel += F.Empirical.OutsideModel;
+      }
+    }
+  }
+  for (auto &[Name, F] : ByFamily) {
+    std::sort(F.TestNames.begin(), F.TestNames.end());
+    Out.Families.push_back(std::move(F));
+  }
+  return Out;
+}
+
 JsonValue cats::mineReportToJson(const MineReport &Report) {
   JsonValue Root = JsonValue::object();
   Root.set("schema", "cats-mine-report/1");

@@ -105,6 +105,22 @@ MineReport mineSweepReport(const SweepReport &Report);
 /// rendering is deterministic.
 JsonValue mineReportToJson(const MineReport &Report);
 
+/// Parses a cats-mine-report/1 document back into a MineReport. Refuses
+/// documents whose "static" section is non-empty: static mole analyses
+/// are whole-program results that cannot be merged shard-wise — re-run
+/// cats_mine --mole over the merged corpus instead.
+Expected<MineReport> mineReportFromJson(const JsonValue &Root);
+
+/// Merges shard mine reports into one: corpus counters and per-family
+/// per-model Allow/Forbid tallies are summed, observed_on /
+/// forbidden_under fall out of the summed tallies, and empirical columns
+/// add up (all parts must agree on the model list and, when present, the
+/// empirical model and host). Shards cannot tell the merged report the
+/// original sweep order of a family's tests, so merged TestNames are
+/// sorted lexicographically — mergeMineReports(\{R\}) is therefore a
+/// normal form, not the identity.
+Expected<MineReport> mergeMineReports(const std::vector<MineReport> &Parts);
+
 } // namespace cats
 
 #endif // CATS_MOLE_MINE_H

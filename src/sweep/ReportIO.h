@@ -1,0 +1,51 @@
+//===- ReportIO.h - cats-sweep-report/1 (de)serialization -----*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Round-tripping sweep results through the cats-sweep-report/1 JSON
+/// schema. The writer half has always lived behind sweepReportToJson; this
+/// header adds the reader half — parsing a report (or one per-test entry)
+/// back into the engine's structs — which is what makes reports
+/// *composable*: the campaign layer's result cache replays stored entries
+/// into live reports, checkpoint files reload an interrupted campaign's
+/// prefix, and cats_merge folds shard reports into one.
+///
+/// Rendering a parsed entry is byte-identical to rendering the original:
+/// outcome keys reparse into Outcomes whose key() rebuilds the same
+/// string, and every count is integral (exact in the JSON number type).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_SWEEP_REPORTIO_H
+#define CATS_SWEEP_REPORTIO_H
+
+#include "support/Error.h"
+#include "sweep/SweepEngine.h"
+
+#include <string>
+
+namespace cats {
+
+/// Parses an Outcome::key() string ("0:r1=1;x=2;...") back into an
+/// Outcome. The rebuilt outcome's key() equals \p Key exactly.
+Expected<Outcome> outcomeFromKey(const std::string &Key);
+
+/// Renders one per-test entry of the "tests" array (the same rendering
+/// sweepReportToJson uses).
+JsonValue sweepTestResultToJson(const SweepTestResult &Result);
+
+/// Parses one per-test entry. Unknown members are ignored (forward
+/// compatibility within the /1 schema).
+Expected<SweepTestResult> sweepTestResultFromJson(const JsonValue &Entry);
+
+/// Parses a whole cats-sweep-report/1 document. Fails on a wrong or
+/// missing "schema"; top-level members this reader does not know (e.g.
+/// the "shard" stanza the campaign CLIs append) are ignored.
+Expected<SweepReport> sweepReportFromJson(const JsonValue &Root);
+
+} // namespace cats
+
+#endif // CATS_SWEEP_REPORTIO_H

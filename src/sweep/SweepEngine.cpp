@@ -101,28 +101,67 @@ SweepReport SweepEngine::run(const std::vector<SweepJob> &Jobs) const {
 SweepReport
 SweepEngine::runStreamed(const TestSource &Source,
                          const std::vector<const Model *> &Models,
-                         unsigned BatchSize) const {
+                         unsigned BatchSize,
+                         const StreamHooks &Hooks) const {
   if (BatchSize == 0)
     BatchSize = 1;
   SweepReport Report;
   // Jobs reports the workers actually used: the widest batch decides
   // (a drained source may never fill a batch up to the worker count).
   Report.Jobs = 1;
+  Report.CacheUsed = static_cast<bool>(Hooks.CacheLookup);
 
   const auto Start = std::chrono::steady_clock::now();
+
+  // Resume: burn the prefix a checkpoint already covers. The source must
+  // still produce (and a diy source still synthesizes) each skipped test,
+  // but none is judged — and judging dominates generation ~9:1.
   bool More = true;
+  unsigned long long Consumed = 0;
+  {
+    LitmusTest Skipped;
+    for (unsigned long long I = 0; More && I < Hooks.SkipTests; ++I)
+      More = Source(Skipped);
+  }
+
   while (More) {
+    // One batch = BatchSize source pulls. Cache hits resolve into their
+    // slot immediately; misses become jobs judged in one run() pass and
+    // scattered back, so the report keeps exact source order either way.
+    std::vector<SweepTestResult> Slots;
     std::vector<SweepJob> Batch;
-    Batch.reserve(BatchSize);
+    std::vector<size_t> SlotOfJob;
+    Slots.reserve(BatchSize);
     LitmusTest Test;
-    while (Batch.size() < BatchSize && (More = Source(Test)))
+    while (Slots.size() < BatchSize && (More = Source(Test))) {
+      ++Consumed;
+      SweepTestResult Hit;
+      if (Hooks.CacheLookup && Hooks.CacheLookup(Test, Hit)) {
+        ++Report.CacheHits;
+        Slots.push_back(std::move(Hit));
+        continue;
+      }
+      if (Report.CacheUsed)
+        ++Report.CacheMisses;
+      SlotOfJob.push_back(Slots.size());
+      Slots.emplace_back();
       Batch.push_back(SweepJob{std::move(Test), Models});
-    if (Batch.empty())
+    }
+    if (Slots.empty())
       break;
-    SweepReport Part = run(Batch);
-    Report.Jobs = std::max(Report.Jobs, Part.Jobs);
-    for (SweepTestResult &T : Part.Tests)
+    if (!Batch.empty()) {
+      SweepReport Part = run(Batch);
+      Report.Jobs = std::max(Report.Jobs, Part.Jobs);
+      for (size_t J = 0; J < Part.Tests.size(); ++J) {
+        if (Hooks.CacheStore)
+          Hooks.CacheStore(Batch[J].Test, Part.Tests[J]);
+        Slots[SlotOfJob[J]] = std::move(Part.Tests[J]);
+      }
+    }
+    for (SweepTestResult &T : Slots)
       Report.Tests.push_back(std::move(T));
+    if (Hooks.OnBatch)
+      Hooks.OnBatch(Report, Consumed);
   }
   Report.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
@@ -139,49 +178,5 @@ std::vector<SweepJob> cats::makeJobs(const std::vector<LitmusTest> &Tests,
   return Jobs;
 }
 
-//===----------------------------------------------------------------------===//
-// JSON rendering (cats-sweep-report/1, see docs/sweep.md)
-//===----------------------------------------------------------------------===//
-
-JsonValue cats::sweepReportToJson(const SweepReport &Report) {
-  JsonValue Root = JsonValue::object();
-  Root.set("schema", "cats-sweep-report/1");
-  Root.set("jobs", Report.Jobs);
-  Root.set("wall_seconds", Report.WallSeconds);
-
-  JsonValue Tests = JsonValue::array();
-  for (const SweepTestResult &T : Report.Tests) {
-    JsonValue Entry = JsonValue::object();
-    Entry.set("name", T.TestName);
-    Entry.set("wall_seconds", T.WallSeconds);
-    if (!T.Error.empty()) {
-      Entry.set("error", T.Error);
-      Tests.push(std::move(Entry));
-      continue;
-    }
-    Entry.set("candidates_total", T.Result.CandidatesTotal);
-    Entry.set("candidates_consistent", T.Result.CandidatesConsistent);
-
-    JsonValue States = JsonValue::array();
-    for (const Outcome &O : T.Result.ConsistentOutcomes)
-      States.push(O.key());
-    Entry.set("consistent_states", std::move(States));
-
-    JsonValue Models = JsonValue::array();
-    for (const SimulationResult &R : T.Result.PerModel) {
-      JsonValue M = JsonValue::object();
-      M.set("model", R.ModelName);
-      M.set("verdict", R.verdict());
-      M.set("candidates_allowed", R.CandidatesAllowed);
-      JsonValue Allowed = JsonValue::array();
-      for (const Outcome &O : R.AllowedOutcomes)
-        Allowed.push(O.key());
-      M.set("allowed_states", std::move(Allowed));
-      Models.push(std::move(M));
-    }
-    Entry.set("models", std::move(Models));
-    Tests.push(std::move(Entry));
-  }
-  Root.set("tests", std::move(Tests));
-  return Root;
-}
+// The JSON rendering and parsing of the cats-sweep-report/1 schema live
+// together in sweep/ReportIO.cpp.

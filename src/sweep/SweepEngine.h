@@ -66,9 +66,38 @@ struct SweepReport {
   double WallSeconds = 0;
   /// Worker threads actually used.
   unsigned Jobs = 1;
+  /// Result-cache statistics of a streamed run with cache hooks attached
+  /// (campaign/ResultCache.h). CacheUsed stays false on plain runs and
+  /// the JSON report then omits the "cache" stanza, keeping the
+  /// rendering byte-compatible with pre-campaign reports.
+  bool CacheUsed = false;
+  unsigned long long CacheHits = 0;
+  unsigned long long CacheMisses = 0;
 
   /// True when no job carries an error.
   bool allOk() const;
+};
+
+/// Optional instrumentation of a streamed campaign (runStreamed). All
+/// members default to inert; the campaign layer (src/campaign/) supplies
+/// them for caching and checkpoint/resume without the engine depending on
+/// either subsystem.
+struct StreamHooks {
+  /// Consulted per pulled test before judging; return true and fill the
+  /// result to skip the batch entirely (a cache hit). Hit results land in
+  /// the report at the test's source position, exactly as if judged.
+  std::function<bool(const LitmusTest &, SweepTestResult &)> CacheLookup;
+  /// Offered every freshly judged result (cache population).
+  std::function<void(const LitmusTest &, const SweepTestResult &)> CacheStore;
+  /// Called after each completed batch with the cumulative report and the
+  /// total number of source tests consumed so far — the checkpoint write
+  /// point: everything in the report is final, nothing in flight.
+  std::function<void(const SweepReport &SoFar, unsigned long long Consumed)>
+      OnBatch;
+  /// Pull and discard this many source tests before judging anything —
+  /// how --resume skips the prefix a checkpoint already covers (synthesis
+  /// is repaid, judging — the dominant cost — is not).
+  unsigned long long SkipTests = 0;
 };
 
 /// Runs litmus sweeps over a worker pool.
@@ -88,10 +117,13 @@ public:
   /// results, and repeats until the source drains. Results keep source
   /// order; peak memory is one batch of tests plus the accumulated
   /// (test-free) results — this is how the diy enumeration feeds
-  /// thousands of generated scenarios through the engine.
+  /// thousands of generated scenarios through the engine. \p Hooks adds
+  /// the campaign-scale behaviours: result-cache lookup/store around each
+  /// test, a per-batch checkpoint callback, and a resume skip count.
   SweepReport runStreamed(const TestSource &Source,
                           const std::vector<const Model *> &Models,
-                          unsigned BatchSize = 64) const;
+                          unsigned BatchSize = 64,
+                          const StreamHooks &Hooks = {}) const;
 
 private:
   unsigned Workers;

@@ -5,12 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The argv-walking boilerplate every campaign CLI (cats_sweep,
-/// cats_repair, cats_mine, cats_diy, cats_run) used to duplicate: a
-/// cursor over the arguments with uniform "<tool>: ..." diagnostics for
-/// missing values, malformed numbers and unknown options. Tools keep
-/// their own flag dispatch (each vocabulary is different); the cursor
-/// owns the error-prone part.
+/// The argv-walking boilerplate every cats CLI (cats_sweep, cats_repair,
+/// cats_mine, cats_diy, cats_run, cats_merge, export_corpus) used to
+/// duplicate: a cursor over the arguments with uniform "<tool>: ..."
+/// diagnostics for missing values, malformed numbers and unknown
+/// options, plus a shared --help renderer fed by per-tool flag tables.
+/// Tools keep their own flag dispatch (each vocabulary is different);
+/// the cursor owns the error-prone part, and each flag's documentation
+/// lives in exactly one FlagDoc row.
 ///
 /// Typical shape:
 ///
@@ -41,12 +43,57 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace cats {
 namespace cli {
+
+/// One documented option of a tool: the flag with its value placeholder
+/// ("--jobs N") and a one-line description. Embedded newlines in the
+/// description become aligned continuation lines. Every tool declares its
+/// vocabulary once as a vector of these; printUsage renders it, so the
+/// --help text can never drift from the table.
+struct FlagDoc {
+  const char *Flag;
+  const char *Doc;
+};
+
+/// Renders the uniform usage block to stderr:
+///
+///   usage: <argv0> <operands>
+///
+///   <about>
+///
+///   options:
+///     <flag>  <doc>
+///     ...
+///
+/// and returns the exit status for a usage error (2), so tools can write
+/// `return cli::printUsage(...)` from both --help and bad-flag paths.
+inline int printUsage(const char *Argv0, const char *Operands,
+                      const char *About, const std::vector<FlagDoc> &Flags) {
+  std::fprintf(stderr, "usage: %s%s%s\n\n%s\n\noptions:\n", Argv0,
+               *Operands ? " " : "", Operands, About);
+  size_t Width = std::strlen("--help");
+  for (const FlagDoc &F : Flags)
+    Width = std::max(Width, std::strlen(F.Flag));
+  auto Row = [&](const char *Flag, const char *Doc) {
+    bool First = true;
+    for (const std::string &Line : splitString(Doc, '\n')) {
+      std::fprintf(stderr, "  %-*s  %s\n", static_cast<int>(Width),
+                   First ? Flag : "", Line.c_str());
+      First = false;
+    }
+  };
+  for (const FlagDoc &F : Flags)
+    Row(F.Flag, F.Doc);
+  Row("--help", "this message");
+  return 2;
+}
 
 /// A cursor over argv with the cats tools' uniform error reporting.
 class ArgCursor {

@@ -17,6 +17,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "CampaignCli.h"
 #include "CliCommon.h"
 #include "diy/Enumerate.h"
 #include "model/Registry.h"
@@ -35,35 +36,37 @@ using namespace cats;
 namespace {
 
 int usage(const char *Argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [options]\n"
-      "\n"
+  std::vector<cli::FlagDoc> Flags = {
+      {"--arch A", "sc | tso | power | arm | c++ra (default: power)"},
+      {"--size N", "maximum cycle length in edges (default: 4)"},
+      {"--min-size N", "minimum cycle length (default: 3)"},
+      {"--limit N", "stop after N matching cycles (default: all)"},
+      {"--filter REGEX", "keep cycles whose canonical name matches"},
+      {"--no-deps", "drop dependency mechanisms from the vocabulary"},
+      {"--no-fences", "drop fences from the vocabulary"},
+      {"--internal", "add the internal rfi/fri/wsi detour edges"},
+      {"--synthesize", "synthesize each test and report failures"},
+      {"--export DIR", "write each synthesized test to DIR/<name>.litmus"},
+      {"--sweep", "sweep the synthesized corpus (implies synthesis)"},
+      {"--models A,B,C", "models for --sweep (default: all)"},
+      {"--jobs N", "sweep worker threads (default: hardware)"},
+      {"--batch N", "streaming batch size (default: 64)"},
+      {"--json FILE", "write the cats-diy-report/1 JSON report"},
+      {"--sweep-json FILE", "also write the sweep leg as a\n"
+                            "cats-sweep-report/1 (mergeable by cats_merge)"},
+      {"--quiet", "suppress the per-cycle listing"}};
+  for (const cli::FlagDoc &F : cli::campaignFlagDocs(/*WithCheckpoint=*/true))
+    Flags.push_back(F);
+  return cli::printUsage(
+      Argv0, "[options]",
       "Exhaustively enumerates the well-formed critical cycles of an\n"
       "architecture's edge vocabulary (po/fence/dependency mechanisms x\n"
       "R/W directions x communications), canonicalized modulo rotation,\n"
       "and synthesizes, exports or sweeps the resulting litmus tests.\n"
       "\n"
-      "options:\n"
-      "  --arch A        sc | tso | power | arm | c++ra (default: power)\n"
-      "  --size N        maximum cycle length in edges (default: 4)\n"
-      "  --min-size N    minimum cycle length (default: 3)\n"
-      "  --limit N       stop after N matching cycles (default: all)\n"
-      "  --filter REGEX  keep cycles whose canonical name matches\n"
-      "  --no-deps       drop dependency mechanisms from the vocabulary\n"
-      "  --no-fences     drop fences from the vocabulary\n"
-      "  --internal      add the internal rfi/fri/wsi detour edges\n"
-      "  --synthesize    synthesize each test and report failures\n"
-      "  --export DIR    write each synthesized test to DIR/<name>.litmus\n"
-      "  --sweep         sweep the synthesized corpus (implies synthesis)\n"
-      "  --models A,B,C  models for --sweep (default: all)\n"
-      "  --jobs N        sweep worker threads (default: hardware)\n"
-      "  --batch N       streaming batch size (default: 64)\n"
-      "  --json FILE     write the cats-diy-report/1 JSON report\n"
-      "  --quiet         suppress the per-cycle listing\n"
-      "  --help          this message\n",
-      Argv0);
-  return 2;
+      "The campaign flags (--shard/--cache/--checkpoint/--resume) apply\n"
+      "to the --sweep leg; see docs/campaigns.md for the workflow.",
+      Flags);
 }
 
 /// Per-cycle record accumulated across the phases.
@@ -80,16 +83,21 @@ struct CycleRecord {
 int main(int argc, char **argv) {
   EnumerateOptions Opts;
   Opts.MaxEdges = 4;
-  std::string ArchName = "power", Filter, ExportDir, JsonPath;
+  std::string ArchName = "power", Filter, ExportDir, JsonPath, SweepJsonPath;
   std::vector<std::string> ModelNames;
   bool Synthesize = false, Sweep = false, Quiet = false;
   unsigned Jobs = 0, Batch = 64;
+  cli::CampaignFlags Campaign;
 
   cli::ArgCursor Args("cats_diy", argc, argv);
   while (Args.next()) {
     if (Args.isHelp())
       return usage(argv[0]);
-    if (Args.is("--arch")) {
+    if (int Took = cli::parseCampaignFlag(Args, "cats_diy",
+                                          /*WithCheckpoint=*/true, Campaign)) {
+      if (Took < 0)
+        return 2;
+    } else if (Args.is("--arch")) {
       const char *V = Args.value();
       if (!V)
         return 2;
@@ -139,12 +147,26 @@ int main(int argc, char **argv) {
       if (!V)
         return 2;
       JsonPath = V;
+    } else if (Args.is("--sweep-json")) {
+      const char *V = Args.value();
+      if (!V)
+        return 2;
+      SweepJsonPath = V;
     } else if (Args.is("--quiet")) {
       Quiet = true;
     } else {
       Args.unknownOption();
       return usage(argv[0]);
     }
+  }
+  if (Status S = cli::validateCampaignFlags(Campaign); S.failed()) {
+    std::fprintf(stderr, "cats_diy: %s\n", S.message().c_str());
+    return 2;
+  }
+  if ((Campaign.active() || !SweepJsonPath.empty()) && !Sweep) {
+    std::fprintf(stderr, "cats_diy: the campaign flags and --sweep-json "
+                         "need --sweep\n");
+    return 2;
   }
 
   if (!parseArch(ArchName, Opts.Target)) {
@@ -247,7 +269,22 @@ int main(int argc, char **argv) {
       return false;
     };
     SweepEngine Engine(SweepOptions{Jobs});
-    Report = Engine.runStreamed(Source, Models, Batch);
+    const std::string Spec =
+        "tool=cats_diy;arch=" + archName(Opts.Target) +
+        strFormat(";min=%u;max=%u;limit=%llu", Opts.MinEdges, Opts.MaxEdges,
+                  static_cast<unsigned long long>(Opts.Limit)) +
+        ";filter=" + Filter +
+        strFormat(";deps=%d;fences=%d;internal=%d", Opts.Dependencies,
+                  Opts.Fences, Opts.InternalCom) +
+        ";models=" + joinStrings(cli::modelNamesOf(Models), ",") +
+        ";shard=" + Campaign.Shard.toString();
+    auto Swept = cli::runCampaignSweep("cats_diy", Engine, Source, Models,
+                                       Batch, Campaign, Spec);
+    if (!Swept) {
+      std::fprintf(stderr, "cats_diy: %s\n", Swept.message().c_str());
+      return 2;
+    }
+    Report = Swept.take();
     SweepFailed = !Report.allOk();
     for (const SweepTestResult &T : Report.Tests)
       if (!T.Error.empty())
@@ -302,10 +339,14 @@ int main(int argc, char **argv) {
                   ? strFormat(", %u synthesis error(s)", SynthesisErrors)
                         .c_str()
                   : "");
-  if (Sweep)
+  if (Sweep) {
     std::printf("swept %zu test(s) x %zu model(s), %u worker(s), %.3fs\n",
                 Report.Tests.size(), Models.size(), Report.Jobs,
                 Report.WallSeconds);
+    if (Report.CacheUsed)
+      std::printf("cache: %llu hit(s), %llu miss(es)\n", Report.CacheHits,
+                  Report.CacheMisses);
+  }
 
   // JSON report.
   if (!JsonPath.empty()) {
@@ -349,6 +390,21 @@ int main(int argc, char **argv) {
     Out << Root.dump();
     if (!Quiet)
       std::printf("wrote %s\n", JsonPath.c_str());
+  }
+
+  // The sweep leg as a mergeable cats-sweep-report/1: what a sharded
+  // campaign feeds cats_merge (the per-cycle diy report above is keyed by
+  // cycle, not stream position, and does not merge).
+  if (!SweepJsonPath.empty()) {
+    std::ofstream Out(SweepJsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "cats_diy: cannot write %s\n",
+                   SweepJsonPath.c_str());
+      return 1;
+    }
+    Out << cli::campaignSweepJson(Report, Campaign).dump();
+    if (!Quiet)
+      std::printf("wrote %s\n", SweepJsonPath.c_str());
   }
 
   return (SynthesisErrors || SweepFailed || ExportFailed) ? 1 : 0;

@@ -1,0 +1,126 @@
+//===- cats_merge.cpp - Fold shard reports into one -----------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reduce step of a sharded campaign (docs/campaigns.md): read N
+/// per-shard JSON reports and emit one merged document of the same
+/// schema. Sweep reports (cats-sweep-report/1) interleave back into
+/// single-process source order via their "shard" stanzas; mine reports
+/// (cats-mine-report/1) sum their per-family aggregates. With --zero-wall
+/// the wall-clock fields are normalized to 0, which makes a merged report
+/// byte-comparable against a single-process reference run — the form CI's
+/// campaign job asserts with a plain cmp.
+///
+///   cats_merge shard-1.json shard-2.json ... -o merged.json
+///   cats_merge report.json --zero-wall -o normalized.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "CampaignCli.h"
+#include "CliCommon.h"
+#include "campaign/Merge.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cats;
+
+namespace {
+
+int usage(const char *Argv0) {
+  return cli::printUsage(
+      Argv0, "[options] <report.json>...",
+      "Folds shard reports into one document of the same schema.\n"
+      "Sweep reports carrying \"shard\" stanzas must form a complete\n"
+      "1..N set and interleave back into single-process source order;\n"
+      "reports without stanzas concatenate in argument order. Mine\n"
+      "reports merge by summing per-family aggregates (their merged\n"
+      "test_names are sorted; static sections are refused).\n"
+      "\n"
+      "A single input passes through, which with --zero-wall makes this\n"
+      "tool the normalizer for byte-comparing reports.",
+      {{"-o FILE", "write the merged report to FILE (default: stdout)"},
+       {"--zero-wall", "zero every wall_seconds field, so two runs of\n"
+                       "the same campaign compare byte-identically"},
+       {"--quiet", "do not print the summary line"}});
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OutPath;
+  bool ZeroWall = false, Quiet = false;
+  std::vector<std::string> Paths;
+
+  cli::ArgCursor Args("cats_merge", argc, argv);
+  while (Args.next()) {
+    if (Args.isHelp())
+      return usage(argv[0]);
+    if (Args.is("-o") || Args.is("--output")) {
+      const char *V = Args.value();
+      if (!V)
+        return 2;
+      OutPath = V;
+    } else if (Args.is("--zero-wall")) {
+      ZeroWall = true;
+    } else if (Args.is("--quiet")) {
+      Quiet = true;
+    } else if (Args.isFlag()) {
+      Args.unknownOption();
+      return usage(argv[0]);
+    } else {
+      Paths.push_back(Args.arg());
+    }
+  }
+  if (Paths.empty()) {
+    std::fprintf(stderr, "cats_merge: no input reports\n");
+    return usage(argv[0]);
+  }
+
+  std::vector<JsonValue> Inputs;
+  for (const std::string &Path : Paths) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "cats_merge: cannot read %s\n", Path.c_str());
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    auto Doc = JsonValue::parse(Buf.str());
+    if (!Doc) {
+      std::fprintf(stderr, "cats_merge: %s: %s\n", Path.c_str(),
+                   Doc.message().c_str());
+      return 2;
+    }
+    Inputs.push_back(Doc.take());
+  }
+
+  auto Merged = mergeReports(Inputs);
+  if (!Merged) {
+    std::fprintf(stderr, "cats_merge: %s\n", Merged.message().c_str());
+    return 1;
+  }
+  JsonValue Out = ZeroWall ? zeroWallTimes(*Merged) : Merged.take();
+
+  const std::string Text = Out.dump();
+  if (OutPath.empty()) {
+    std::printf("%s\n", Text.c_str());
+  } else {
+    std::ofstream OutFile(OutPath);
+    if (!OutFile) {
+      std::fprintf(stderr, "cats_merge: cannot write %s\n", OutPath.c_str());
+      return 1;
+    }
+    OutFile << Text;
+    if (!Quiet)
+      std::fprintf(stderr, "cats_merge: merged %zu report(s) into %s\n",
+                   Paths.size(), OutPath.c_str());
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "CampaignCli.h"
 #include "CliCommon.h"
 #include "diy/Enumerate.h"
 #include "model/Registry.h"
@@ -39,10 +40,32 @@ using namespace cats;
 namespace {
 
 int usage(const char *Argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [options] [<file.litmus>|<dir>]...\n"
-      "\n"
+  std::vector<cli::FlagDoc> Flags = {
+      {"--models A,B,C", "comma-separated model names (default: all)"},
+      {"--jobs N", "sweep worker threads (default: hardware)"},
+      {"--batch N", "streaming batch size (default: 64)"},
+      {"--filter REGEX", "keep tests whose name matches"},
+      {"--catalogue", "add the built-in figure catalogue"},
+      {"--diy ARCH", "add a diy-enumerated slice for ARCH"},
+      {"--size N", "max cycle size for --diy (default: 4)"},
+      {"--limit N", "cap the --diy slice (default: 500)"},
+      {"--internal", "include rfi/fri/wsi edges in --diy"},
+      {"--mole X", "static-mine X: a .mole file or one of\n"
+                   "rcu | postgres | apache (repeatable)"},
+      {"--run", "also execute the corpus natively (src/run) and\n"
+                "add the observed-on-hardware column; exits 1 on\n"
+                "a soundness violation"},
+      {"--iterations N", "native executions per test for --run (100000)"},
+      {"--seed N", "native-run schedule seed (default: 42)"},
+      {"--run-model M", "reference model for --run (default: the host's\n"
+                        "— TSO on x86)"},
+      {"--json FILE", "write the cats-mine-report/1 JSON report"},
+      {"--quiet", "suppress the family table"}};
+  for (const cli::FlagDoc &F :
+       cli::campaignFlagDocs(/*WithCheckpoint=*/false))
+    Flags.push_back(F);
+  return cli::printUsage(
+      Argv0, "[options] [<file.litmus>|<dir>]...",
       "Mines observed-vs-forbidden outcome patterns: sweeps a corpus\n"
       "under a model set, folds test names to their cycle family, and\n"
       "aggregates the per-model verdicts. Static critical cycles mined\n"
@@ -52,30 +75,9 @@ int usage(const char *Argv0) {
       "--diy enumerated slice. With no corpus input and no --mole, the\n"
       "catalogue is mined.\n"
       "\n"
-      "options:\n"
-      "  --models A,B,C  comma-separated model names (default: all)\n"
-      "  --jobs N        sweep worker threads (default: hardware)\n"
-      "  --batch N       streaming batch size (default: 64)\n"
-      "  --filter REGEX  keep tests whose name matches\n"
-      "  --catalogue     add the built-in figure catalogue\n"
-      "  --diy ARCH      add a diy-enumerated slice for ARCH\n"
-      "  --size N        max cycle size for --diy (default: 4)\n"
-      "  --limit N       cap the --diy slice (default: 500)\n"
-      "  --internal      include rfi/fri/wsi edges in --diy\n"
-      "  --mole X        static-mine X: a .mole file or one of\n"
-      "                  rcu | postgres | apache (repeatable)\n"
-      "  --run           also execute the corpus natively (src/run) and\n"
-      "                  add the observed-on-hardware column; exits 1 on\n"
-      "                  a soundness violation\n"
-      "  --iterations N  native executions per test for --run (100000)\n"
-      "  --seed N        native-run schedule seed (default: 42)\n"
-      "  --run-model M   reference model for --run (default: the host's\n"
-      "                  — TSO on x86)\n"
-      "  --json FILE     write the cats-mine-report/1 JSON report\n"
-      "  --quiet         suppress the family table\n"
-      "  --help          this message\n",
-      Argv0);
-  return 2;
+      "--shard partitions each corpus source; shard reports (without\n"
+      "static analyses) merge with cats_merge. See docs/campaigns.md.",
+      Flags);
 }
 
 
@@ -90,12 +92,18 @@ int main(int argc, char **argv) {
   DiyOpts.Limit = 500;
   RunOptions RunOpts;
   std::vector<std::string> ModelNames, Paths, MolePrograms;
+  cli::CampaignFlags Campaign;
 
   cli::ArgCursor Args("cats_mine", argc, argv);
   while (Args.next()) {
     if (Args.isHelp())
       return usage(argv[0]);
-    if (Args.is("--models")) {
+    if (int Took = cli::parseCampaignFlag(Args, "cats_mine",
+                                          /*WithCheckpoint=*/false,
+                                          Campaign)) {
+      if (Took < 0)
+        return 2;
+    } else if (Args.is("--models")) {
       if (!Args.commaList(ModelNames))
         return 2;
     } else if (Args.is("--jobs")) {
@@ -214,20 +222,36 @@ int main(int argc, char **argv) {
   SweepReport Report;
   std::vector<std::string> LoadErrors;
   std::vector<LitmusTest> RunCorpus;
+  std::optional<ResultCache> Cache;
+  if (!Campaign.CacheDir.empty()) {
+    auto Opened = ResultCache::open(Campaign.CacheDir);
+    if (!Opened) {
+      std::fprintf(stderr, "cats_mine: %s\n", Opened.message().c_str());
+      return 2;
+    }
+    Cache.emplace(Opened.take());
+  }
   auto SweepInto = [&](const TestSource &Source) {
-    TestSource Teed = Source;
+    // Shard first, then tee: a shard natively runs (and mines) only the
+    // tests it owns, and the shards' unions cover each source exactly.
+    TestSource Sharded = shardTestSource(Source, Campaign.Shard);
+    TestSource Teed = Sharded;
     if (RunNative)
-      Teed = [&RunCorpus, Source](LitmusTest &Out) -> bool {
-        if (!Source(Out))
+      Teed = [&RunCorpus, Sharded](LitmusTest &Out) -> bool {
+        if (!Sharded(Out))
           return false;
         RunCorpus.push_back(Out);
         return true;
       };
-    SweepReport Part = Engine.runStreamed(Teed, Models, Batch);
+    SweepReport Part = Engine.runStreamed(
+        Teed, Models, Batch, Cache ? Cache->hooks(Models) : StreamHooks{});
     for (SweepTestResult &T : Part.Tests)
       Report.Tests.push_back(std::move(T));
     Report.Jobs = std::max(Report.Jobs, Part.Jobs);
     Report.WallSeconds += Part.WallSeconds;
+    Report.CacheUsed = Report.CacheUsed || Part.CacheUsed;
+    Report.CacheHits += Part.CacheHits;
+    Report.CacheMisses += Part.CacheMisses;
   };
   if (!Paths.empty() || UseCatalogue) {
     auto Source =
@@ -345,6 +369,9 @@ int main(int argc, char **argv) {
                 "%zu static program(s)\n",
                 Mined.CorpusTests, Mined.Models.size(),
                 Mined.Families.size(), Mined.StaticReports.size());
+    if (Report.CacheUsed)
+      std::printf("cache: %llu hit(s), %llu miss(es)\n", Report.CacheHits,
+                  Report.CacheMisses);
   }
 
   // JSON report.

@@ -37,36 +37,29 @@ using namespace cats;
 namespace {
 
 int usage(const char *Argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [options] [<file.litmus>|<dir>]...\n"
-      "\n"
+  return cli::printUsage(
+      Argv0, "[options] [<file.litmus>|<dir>]...",
       "Computes minimal fence/dependency insertions restoring a goal on a\n"
       "weak model (Sec. 7 of the paper): every candidate mutant battery is\n"
       "judged in batched shared-enumeration sweeps.\n"
       "\n"
       "Inputs: .litmus files, directories (scanned for *.litmus), the\n"
       "built-in figure catalogue, and/or a generated diy battery. With no\n"
-      "input, the catalogue runs.\n"
-      "\n"
-      "options:\n"
-      "  --model NAME     target model for every test (default: each\n"
-      "                   test's architecture default)\n"
-      "  --goal G         forbid: make the exists-clause unobservable\n"
-      "                   (default); sc: match the native SC outcomes\n"
-      "  --jobs N         worker threads (default: hardware concurrency)\n"
-      "  --filter REGEX   keep only tests whose name matches\n"
-      "  --all-minimal    print every minimal repair (default: cheapest)\n"
-      "  --catalogue      add the built-in figure catalogue to the inputs\n"
-      "  --battery ARCH   add the diy battery for ARCH (power, arm, tso)\n"
-      "  --max-per-family N  cap the battery size per family (default 16,\n"
-      "                   0 = unlimited)\n"
-      "  --ww-fences      include write-write-only fences (eieio, dmb.st)\n"
-      "  --json FILE      write the cats-repair-report/1 JSON report\n"
-      "  --quiet          suppress the per-test text blocks\n"
-      "  --help           this message\n",
-      Argv0);
-  return 2;
+      "input, the catalogue runs.",
+      {{"--model NAME", "target model for every test (default: each\n"
+                        "test's architecture default)"},
+       {"--goal G", "forbid: make the exists-clause unobservable\n"
+                    "(default); sc: match the native SC outcomes"},
+       {"--jobs N", "worker threads (default: hardware concurrency)"},
+       {"--filter REGEX", "keep only tests whose name matches"},
+       {"--all-minimal", "print every minimal repair (default: cheapest)"},
+       {"--catalogue", "add the built-in figure catalogue to the inputs"},
+       {"--battery ARCH", "add the diy battery for ARCH (power, arm, tso)"},
+       {"--max-per-family N", "cap the battery size per family (default 16,\n"
+                              "0 = unlimited)"},
+       {"--ww-fences", "include write-write-only fences (eieio, dmb.st)"},
+       {"--json FILE", "write the cats-repair-report/1 JSON report"},
+       {"--quiet", "suppress the per-test text blocks"}});
 }
 
 } // namespace

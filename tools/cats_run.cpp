@@ -35,36 +35,29 @@ using namespace cats;
 namespace {
 
 int usage(const char *Argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [options] [<file.litmus>|<dir>]...\n"
-      "\n"
+  return cli::printUsage(
+      Argv0, "[options] [<file.litmus>|<dir>]...",
       "Executes litmus tests as native concurrent code (relaxed atomics,\n"
       "real host fences, preserved dependency chains) and checks that\n"
       "every outcome observed on this machine is allowed by a reference\n"
       "model. Exit status 1 reports a soundness violation.\n"
       "\n"
       "Inputs: .litmus files, directories (scanned for *.litmus), and/or\n"
-      "the built-in figure catalogue. With no input, the catalogue runs.\n"
-      "\n"
-      "options:\n"
-      "  --iterations N  executions sampled per test (default: 100000)\n"
-      "  --jobs N        cores used for pinning (default: hardware)\n"
-      "  --seed N        schedule seed (default: 42); fixed seed =>\n"
-      "                  identical schedules and histogram bucket order\n"
-      "  --batch N       preallocated test instances per round (512)\n"
-      "  --schedule S    shuffle | stride | seq (default: shuffle)\n"
-      "  --no-pin        do not pin worker threads by affinity\n"
-      "  --model NAME    reference model (default: the host's — TSO on\n"
-      "                  x86, ARM on aarch64, else Power)\n"
-      "  --filter REGEX  keep only tests whose name matches\n"
-      "  --catalogue     add the built-in figure catalogue to the inputs\n"
-      "  --histogram     print each test's outcome histogram\n"
-      "  --json FILE     write the cats-run-report/1 JSON report\n"
-      "  --quiet         suppress the summary table\n"
-      "  --help          this message\n",
-      Argv0);
-  return 2;
+      "the built-in figure catalogue. With no input, the catalogue runs.",
+      {{"--iterations N", "executions sampled per test (default: 100000)"},
+       {"--jobs N", "cores used for pinning (default: hardware)"},
+       {"--seed N", "schedule seed (default: 42); fixed seed =>\n"
+                    "identical schedules and histogram bucket order"},
+       {"--batch N", "preallocated test instances per round (512)"},
+       {"--schedule S", "shuffle | stride | seq (default: shuffle)"},
+       {"--no-pin", "do not pin worker threads by affinity"},
+       {"--model NAME", "reference model (default: the host's — TSO on\n"
+                        "x86, ARM on aarch64, else Power)"},
+       {"--filter REGEX", "keep only tests whose name matches"},
+       {"--catalogue", "add the built-in figure catalogue to the inputs"},
+       {"--histogram", "print each test's outcome histogram"},
+       {"--json FILE", "write the cats-run-report/1 JSON report"},
+       {"--quiet", "suppress the summary table"}});
 }
 
 } // namespace

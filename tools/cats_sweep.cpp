@@ -9,15 +9,20 @@
 /// directories and/or the built-in figure catalogue, run every test against
 /// a model set with one shared candidate enumeration per test, distributed
 /// over a worker pool, and report as a summary table, classic herd text,
-/// and/or a machine-readable JSON report (docs/sweep.md).
+/// and/or a machine-readable JSON report (docs/sweep.md). The campaign
+/// flags (--shard, --cache, --checkpoint/--resume; docs/campaigns.md)
+/// switch to the streamed engine so corpora far beyond memory can run in
+/// cooperating resumable shards.
 ///
 ///   cats_sweep                          # built-in catalogue, all models
 ///   cats_sweep --jobs 4 litmus/         # a directory of .litmus files
 ///   cats_sweep --models SC,TSO mp.litmus --herd
 ///   cats_sweep --catalogue --json report.json
+///   cats_sweep corpus/ --shard 2/4 --cache .cats-cache --json shard-2.json
 ///
 //===----------------------------------------------------------------------===//
 
+#include "CampaignCli.h"
 #include "CliCommon.h"
 #include "litmus/TestFilter.h"
 #include "model/Registry.h"
@@ -33,10 +38,21 @@ using namespace cats;
 namespace {
 
 int usage(const char *Argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [options] [<file.litmus>|<dir>]...\n"
-      "\n"
+  std::vector<cli::FlagDoc> Flags = {
+      {"--jobs N", "worker threads (default: hardware concurrency)"},
+      {"--models A,B,C", "comma-separated model names (default: all).\n"
+                         "Known: SC, TSO, PSO, RMO, C++RA, Power, ARM,\n"
+                         "Power-ARM, ARM llh"},
+      {"--filter REGEX", "keep only tests whose name matches"},
+      {"--catalogue", "add the built-in figure catalogue to the inputs"},
+      {"--batch N", "streaming batch size for campaign runs (default: 64)"},
+      {"--json FILE", "write the cats-sweep-report/1 JSON report"},
+      {"--herd", "print the classic herd block per test x model"},
+      {"--quiet", "suppress the summary table"}};
+  for (const cli::FlagDoc &F : cli::campaignFlagDocs(/*WithCheckpoint=*/true))
+    Flags.push_back(F);
+  return cli::printUsage(
+      Argv0, "[options] [<file.litmus>|<dir>]...",
       "Runs a parallel shared-enumeration sweep: every test is compiled\n"
       "and its candidate space enumerated once, with all selected models\n"
       "checked against each candidate in the same pass.\n"
@@ -44,35 +60,30 @@ int usage(const char *Argv0) {
       "Inputs: .litmus files, directories (scanned for *.litmus), and/or\n"
       "the built-in figure catalogue. With no input, the catalogue runs.\n"
       "\n"
-      "options:\n"
-      "  --jobs N        worker threads (default: hardware concurrency)\n"
-      "  --models A,B,C  comma-separated model names (default: all).\n"
-      "                  Known: SC, TSO, PSO, RMO, C++RA, Power, ARM,\n"
-      "                  Power-ARM, ARM llh\n"
-      "  --filter REGEX  keep only tests whose name matches\n"
-      "  --catalogue     add the built-in figure catalogue to the inputs\n"
-      "  --json FILE     write the cats-sweep-report/1 JSON report\n"
-      "  --herd          print the classic herd block per test x model\n"
-      "  --quiet         suppress the summary table\n"
-      "  --help          this message\n",
-      Argv0);
-  return 2;
+      "The campaign flags (--shard/--cache/--checkpoint/--resume) stream\n"
+      "the corpus in batches; see docs/campaigns.md for the workflow.",
+      Flags);
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  unsigned Jobs = 0;
+  unsigned Jobs = 0, Batch = 64;
   bool UseCatalogue = false, Herd = false, Quiet = false;
   std::string JsonPath, Filter;
   std::vector<std::string> ModelNames;
   std::vector<std::string> Paths;
+  cli::CampaignFlags Campaign;
 
   cli::ArgCursor Args("cats_sweep", argc, argv);
   while (Args.next()) {
     if (Args.isHelp())
       return usage(argv[0]);
-    if (Args.is("--jobs")) {
+    if (int Took = cli::parseCampaignFlag(Args, "cats_sweep",
+                                          /*WithCheckpoint=*/true, Campaign)) {
+      if (Took < 0)
+        return 2;
+    } else if (Args.is("--jobs")) {
       if (!Args.unsignedValue(Jobs))
         return 2;
     } else if (Args.is("--models")) {
@@ -85,6 +96,9 @@ int main(int argc, char **argv) {
       Filter = V;
     } else if (Args.is("--catalogue") || Args.is("--catalog")) {
       UseCatalogue = true;
+    } else if (Args.is("--batch")) {
+      if (!Args.unsignedValue(Batch))
+        return 2;
     } else if (Args.is("--json")) {
       const char *V = Args.value();
       if (!V)
@@ -101,6 +115,17 @@ int main(int argc, char **argv) {
       Paths.push_back(Args.arg());
     }
   }
+  if (Status S = cli::validateCampaignFlags(Campaign); S.failed()) {
+    std::fprintf(stderr, "cats_sweep: %s\n", S.message().c_str());
+    return 2;
+  }
+  if (Campaign.active() && Herd) {
+    // The herd blocks need each test's final condition, which the
+    // streamed path deliberately does not materialize.
+    std::fprintf(stderr, "cats_sweep: --herd does not combine with the "
+                         "campaign flags\n");
+    return 2;
+  }
 
   // Resolve the model set.
   auto Resolved = resolveModels(ModelNames);
@@ -110,26 +135,57 @@ int main(int argc, char **argv) {
   }
   std::vector<const Model *> Models = Resolved.take();
 
-  // Gather the tests: files first (sorted per directory), catalogue after.
   if (Paths.empty() && !UseCatalogue)
     UseCatalogue = true;
-  auto Loaded = loadCampaignTests(Paths, UseCatalogue, Filter);
-  if (!Loaded) {
-    std::fprintf(stderr, "cats_sweep: %s\n", Loaded.message().c_str());
-    return 2;
-  }
-  for (const std::string &Problem : Loaded->Errors)
-    std::fprintf(stderr, "cats_sweep: %s\n", Problem.c_str());
-  const bool LoadFailed = !Loaded->Errors.empty();
-  std::vector<LitmusTest> Tests = std::move(Loaded->Tests);
-  if (Tests.empty()) {
-    std::fprintf(stderr, "cats_sweep: no tests to run\n");
-    return 2;
-  }
 
-  // Run.
   SweepEngine Engine(SweepOptions{Jobs});
-  SweepReport Report = Engine.run(makeJobs(Tests, Models));
+  SweepReport Report;
+  std::vector<LitmusTest> Tests; // materialized path only, for --herd
+  bool LoadFailed = false;
+
+  if (Campaign.active()) {
+    // Streamed campaign: tests parse lazily at pull time, flow through
+    // the shard filter and the result cache, and checkpoint per batch.
+    std::vector<std::string> LoadErrors;
+    auto Source = streamCampaignTests(Paths, UseCatalogue, Filter,
+                                      &LoadErrors);
+    if (!Source) {
+      std::fprintf(stderr, "cats_sweep: %s\n", Source.message().c_str());
+      return 2;
+    }
+    const std::string Spec =
+        "tool=cats_sweep;paths=" + joinStrings(Paths, ",") +
+        ";catalogue=" + (UseCatalogue ? "1" : "0") + ";filter=" + Filter +
+        ";models=" + joinStrings(cli::modelNamesOf(Models), ",") +
+        ";shard=" + Campaign.Shard.toString();
+    auto Swept = cli::runCampaignSweep("cats_sweep", Engine, Source.take(),
+                                       Models, Batch, Campaign, Spec);
+    for (const std::string &Problem : LoadErrors)
+      std::fprintf(stderr, "cats_sweep: %s\n", Problem.c_str());
+    LoadFailed = !LoadErrors.empty();
+    if (!Swept) {
+      std::fprintf(stderr, "cats_sweep: %s\n", Swept.message().c_str());
+      return 2;
+    }
+    Report = Swept.take();
+  } else {
+    // Gather the tests: files first (sorted per directory), catalogue
+    // after.
+    auto Loaded = loadCampaignTests(Paths, UseCatalogue, Filter);
+    if (!Loaded) {
+      std::fprintf(stderr, "cats_sweep: %s\n", Loaded.message().c_str());
+      return 2;
+    }
+    for (const std::string &Problem : Loaded->Errors)
+      std::fprintf(stderr, "cats_sweep: %s\n", Problem.c_str());
+    LoadFailed = !Loaded->Errors.empty();
+    Tests = std::move(Loaded->Tests);
+    if (Tests.empty()) {
+      std::fprintf(stderr, "cats_sweep: no tests to run\n");
+      return 2;
+    }
+    Report = Engine.run(makeJobs(Tests, Models));
+  }
 
   // Summary table: one row per test, one verdict column per model.
   if (!Quiet) {
@@ -152,6 +208,9 @@ int main(int argc, char **argv) {
     std::printf("\n%zu tests x %zu models, %u worker(s), %.3fs\n",
                 Report.Tests.size(), Models.size(), Report.Jobs,
                 Report.WallSeconds);
+    if (Report.CacheUsed)
+      std::printf("cache: %llu hit(s), %llu miss(es)\n", Report.CacheHits,
+                  Report.CacheMisses);
   }
 
   // Classic herd blocks.
@@ -173,7 +232,7 @@ int main(int argc, char **argv) {
                    JsonPath.c_str());
       return 1;
     }
-    Out << sweepReportToJson(Report).dump();
+    Out << cli::campaignSweepJson(Report, Campaign).dump();
     if (!Quiet)
       std::printf("wrote %s\n", JsonPath.c_str());
   }

@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "CliCommon.h"
 #include "litmus/Catalog.h"
 #include "litmus/Parser.h"
 
@@ -91,21 +92,33 @@ int checkCorpus(const std::string &Dir) {
 
 } // namespace
 
+int usage(const char *Argv0) {
+  return cats::cli::printUsage(
+      Argv0, "[options] <dir>",
+      "Writes every figure-catalogue entry to <dir>/<name>.litmus.\n"
+      "tests/corpus.cpp asserts the committed litmus/ directory stays in\n"
+      "sync with the catalogue; rerun after changing Catalog.cpp.",
+      {{"--check", "diff <dir> against the catalogue (missing, stale,\n"
+                   "orphaned files) without writing; exit 1 on mismatch"}});
+}
+
 int main(int argc, char **argv) {
   bool Check = false;
   const char *Dir = nullptr;
+  bool TooMany = false;
   for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--help") == 0 ||
+        std::strcmp(argv[I], "-h") == 0)
+      return usage(argv[0]);
     if (std::strcmp(argv[I], "--check") == 0)
       Check = true;
     else if (!Dir)
       Dir = argv[I];
     else
-      Dir = ""; // too many positionals; trip the usage error below
+      TooMany = true;
   }
-  if (!Dir || !*Dir) {
-    std::fprintf(stderr, "usage: %s [--check] <dir>\n", argv[0]);
-    return 2;
-  }
+  if (!Dir || TooMany)
+    return usage(argv[0]);
   if (Check)
     return checkCorpus(Dir);
 
