@@ -27,6 +27,7 @@
 
 #include "diy/Enumerate.h"
 #include "model/Registry.h"
+#include "obs/Metrics.h"
 #include "support/StringUtils.h"
 #include "sweep/SweepEngine.h"
 
@@ -63,7 +64,15 @@ struct Measurement {
   double SynthesizeSeconds = 0;
   double SweepSecondsJ1 = 0;
   double SweepSeconds = 0;
+  /// The 1-worker streamed sweep with metrics collection enabled, gated
+  /// at --obs-tolerance in --check.
+  double SweepSecondsJ1Obs = 0;
   bool Deterministic = true;
+  /// Headline counters from the metrics-enabled pass.
+  unsigned long long ClosuresTried = 0;
+  unsigned long long TestsSynthesized = 0;
+  unsigned long long CandidatesTotal = 0;
+  unsigned long long CandidatesConsistent = 0;
 };
 
 Measurement measure(unsigned Jobs, unsigned Repeats) {
@@ -75,6 +84,7 @@ Measurement measure(unsigned Jobs, unsigned Repeats) {
   M.SynthesizeSeconds = 1e300;
   M.SweepSecondsJ1 = 1e300;
   M.SweepSeconds = 1e300;
+  M.SweepSecondsJ1Obs = 1e300;
 
   std::vector<std::string> Reference;
   for (unsigned R = 0; R < Repeats; ++R) {
@@ -127,6 +137,30 @@ Measurement measure(unsigned Jobs, unsigned Repeats) {
     }
     if (Jobs == 1)
       M.SweepSeconds = M.SweepSecondsJ1;
+
+    // The same 1-worker streamed sweep with the metrics registry live.
+    // The source is created inside the enabled window so the enumeration
+    // counters (diy.closures_tried, diy.tests_synthesized) register; the
+    // clock still covers runStreamed only, like the passes above.
+    obs::resetMetrics();
+    obs::setMetricsEnabled(true);
+    auto ObsSource = makeDiyTestSource(Opts);
+    if (!ObsSource) {
+      std::fprintf(stderr, "bench_diy: %s\n", ObsSource.message().c_str());
+      std::exit(1);
+    }
+    SweepEngine ObsEngine(SweepOptions{1});
+    Start = Clock::now();
+    SweepReport ObsReport = ObsEngine.runStreamed(*ObsSource, Models, 32);
+    M.SweepSecondsJ1Obs = std::min(M.SweepSecondsJ1Obs, elapsed(Start));
+    obs::setMetricsEnabled(false);
+    if (ObsReport.Tests.size() != Tests)
+      M.Deterministic = false;
+    M.ClosuresTried = obs::counter("diy.closures_tried").value();
+    M.TestsSynthesized = obs::counter("diy.tests_synthesized").value();
+    M.CandidatesTotal = obs::counter("judge.candidates_total").value();
+    M.CandidatesConsistent =
+        obs::counter("judge.candidates_consistent").value();
   }
   return M;
 }
@@ -147,13 +181,26 @@ JsonValue toJson(const Measurement &M, unsigned Jobs, unsigned Repeats) {
   Root.set("normalized_gen_cost",
            (M.EnumerateSeconds + M.SynthesizeSeconds) / M.SweepSecondsJ1);
   Root.set("deterministic", M.Deterministic);
+  Root.set("sweep_seconds_j1_obs", M.SweepSecondsJ1Obs);
+  Root.set("obs_overhead", M.SweepSecondsJ1Obs / M.SweepSecondsJ1 - 1.0);
+  JsonValue Counters = JsonValue::object();
+  Counters.set("closures_tried", M.ClosuresTried);
+  Counters.set("tests_synthesized", M.TestsSynthesized);
+  Counters.set("candidates_total", M.CandidatesTotal);
+  Counters.set("candidates_consistent", M.CandidatesConsistent);
+  Counters.set("prune_rate",
+               M.CandidatesTotal
+                   ? 1.0 - static_cast<double>(M.CandidatesConsistent) /
+                               static_cast<double>(M.CandidatesTotal)
+                   : 0.0);
+  Root.set("counters", std::move(Counters));
   return Root;
 }
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--repeats N] [--out FILE]\n"
-               "          [--check FILE] [--tolerance F]\n",
+               "          [--check FILE] [--tolerance F] [--obs-tolerance F]\n",
                Argv0);
   return 2;
 }
@@ -162,7 +209,7 @@ int usage(const char *Argv0) {
 
 int main(int argc, char **argv) {
   unsigned Jobs = 4, Repeats = 5;
-  double Tolerance = 0.25;
+  double Tolerance = 0.25, ObsTolerance = 0.05;
   std::string OutPath, CheckPath;
 
   for (int I = 1; I < argc; ++I) {
@@ -194,6 +241,12 @@ int main(int argc, char **argv) {
       Tolerance = V ? std::strtod(V, &End) : 0;
       if (!V || !End || *End != '\0' || Tolerance < 0)
         return usage(argv[0]);
+    } else if (Arg == "--obs-tolerance") {
+      const char *V = Value();
+      char *End = nullptr;
+      ObsTolerance = V ? std::strtod(V, &End) : 0;
+      if (!V || !End || *End != '\0' || ObsTolerance < 0)
+        return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
@@ -217,6 +270,16 @@ int main(int argc, char **argv) {
   std::snprintf(Label, sizeof(Label), "streamed sweep, %u workers", Jobs);
   std::printf("%-38s %10.4fs  (%.2fx)\n", Label, M.SweepSeconds,
               M.SweepSecondsJ1 / M.SweepSeconds);
+  std::printf("%-38s %10.4fs  (+%.1f%% vs metrics off)\n",
+              "streamed sweep, 1 worker, metrics on", M.SweepSecondsJ1Obs,
+              (M.SweepSecondsJ1Obs / M.SweepSecondsJ1 - 1.0) * 100);
+  std::printf("counters: %llu closures tried, %llu tests synthesized, "
+              "%llu candidates (%.1f%% pruned)\n",
+              M.ClosuresTried, M.TestsSynthesized, M.CandidatesTotal,
+              M.CandidatesTotal
+                  ? 100.0 * (1.0 - static_cast<double>(M.CandidatesConsistent) /
+                                       static_cast<double>(M.CandidatesTotal))
+                  : 0.0);
   const double GenCost =
       (M.EnumerateSeconds + M.SynthesizeSeconds) / M.SweepSecondsJ1;
   std::printf("normalized generation cost: %.4f\n", GenCost);
@@ -281,6 +344,24 @@ int main(int argc, char **argv) {
                    "FAIL: generation cost regressed more than %.0f%% vs "
                    "the committed baseline\n",
                    Tolerance * 100);
+      return 1;
+    }
+
+    // Observability gate, measured in-run (baselines committed before the
+    // metrics fields existed still validate): the metrics-enabled sweep
+    // must stay within --obs-tolerance of the disabled one, with a 2ms
+    // absolute slack floor against timer noise.
+    const double ObsOverhead = M.SweepSecondsJ1Obs - M.SweepSecondsJ1;
+    const double ObsAllowed =
+        std::max(M.SweepSecondsJ1 * ObsTolerance, 0.002);
+    std::printf("obs gate: metrics-enabled sweep +%.4fs over %.4fs "
+                "(allowed <= +%.4fs)\n",
+                ObsOverhead, M.SweepSecondsJ1, ObsAllowed);
+    if (ObsOverhead > ObsAllowed) {
+      std::fprintf(stderr,
+                   "FAIL: enabling metrics costs more than %.0f%% of the "
+                   "sweep wall time\n",
+                   ObsTolerance * 100);
       return 1;
     }
     std::printf("perf gate passed\n");

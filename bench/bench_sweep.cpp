@@ -32,8 +32,10 @@
 #include "litmus/Catalog.h"
 #include "litmus/Compiler.h"
 #include "model/Registry.h"
+#include "obs/Metrics.h"
 #include "sweep/SweepEngine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -86,7 +88,16 @@ struct Measurement {
   double LegacySeconds = 0;
   double SweepSecondsJ1 = 0;
   double SweepSeconds = 0;
+  /// The 1-worker sweep with metrics collection enabled — the "cheap
+  /// enough to leave on" claim, gated at --obs-tolerance in --check.
+  double SweepSecondsJ1Obs = 0;
   bool VerdictsMatch = true;
+  /// Headline counters from the metrics-enabled pass (identical every
+  /// repeat — the sweep is deterministic).
+  unsigned long long CandidatesTotal = 0;
+  unsigned long long CandidatesConsistent = 0;
+  unsigned long long MemoHits = 0;
+  unsigned long long MemoMisses = 0;
 };
 
 Measurement measure(unsigned Jobs, unsigned Repeats) {
@@ -100,14 +111,29 @@ Measurement measure(unsigned Jobs, unsigned Repeats) {
   M.LegacySeconds = 1e300;
   M.SweepSecondsJ1 = 1e300;
   M.SweepSeconds = 1e300;
-  std::vector<bool> Legacy, Shared, SharedJ1;
+  M.SweepSecondsJ1Obs = 1e300;
+  std::vector<bool> Legacy, Shared, SharedJ1, SharedObs;
   for (unsigned R = 0; R < Repeats; ++R) {
     M.LegacySeconds =
         std::min(M.LegacySeconds, runLegacy(Tests, Models, Legacy));
     M.SweepSecondsJ1 =
         std::min(M.SweepSecondsJ1, runSweep(JobsIn, 1, SharedJ1));
     M.SweepSeconds = std::min(M.SweepSeconds, runSweep(JobsIn, Jobs, Shared));
-    if (Legacy != Shared || Legacy != SharedJ1)
+
+    // The same 1-worker pass with the metrics registry live: verdicts and
+    // counters must not depend on observability being on.
+    obs::resetMetrics();
+    obs::setMetricsEnabled(true);
+    M.SweepSecondsJ1Obs =
+        std::min(M.SweepSecondsJ1Obs, runSweep(JobsIn, 1, SharedObs));
+    obs::setMetricsEnabled(false);
+    M.CandidatesTotal = obs::counter("judge.candidates_total").value();
+    M.CandidatesConsistent =
+        obs::counter("judge.candidates_consistent").value();
+    M.MemoHits = obs::counter("memo.model_hits").value();
+    M.MemoMisses = obs::counter("memo.model_misses").value();
+
+    if (Legacy != Shared || Legacy != SharedJ1 || Legacy != SharedObs)
       M.VerdictsMatch = false;
   }
   return M;
@@ -127,13 +153,27 @@ JsonValue toJson(const Measurement &M, unsigned Jobs, unsigned Repeats) {
   Root.set("speedup_total", M.LegacySeconds / M.SweepSeconds);
   Root.set("normalized_sweep_cost", M.SweepSeconds / M.LegacySeconds);
   Root.set("verdicts_match_legacy", M.VerdictsMatch);
+  Root.set("sweep_seconds_j1_obs", M.SweepSecondsJ1Obs);
+  Root.set("obs_overhead", M.SweepSecondsJ1Obs / M.SweepSecondsJ1 - 1.0);
+  JsonValue Counters = JsonValue::object();
+  Counters.set("candidates_total", M.CandidatesTotal);
+  Counters.set("candidates_consistent", M.CandidatesConsistent);
+  Counters.set("prune_rate",
+               M.CandidatesTotal
+                   ? 1.0 - static_cast<double>(M.CandidatesConsistent) /
+                               static_cast<double>(M.CandidatesTotal)
+                   : 0.0);
+  Counters.set("memo_hits", M.MemoHits);
+  Counters.set("memo_misses", M.MemoMisses);
+  Root.set("counters", std::move(Counters));
   return Root;
 }
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--repeats N] [--out FILE]\n"
-               "          [--check FILE] [--tolerance F] [--min-speedup F]\n",
+               "          [--check FILE] [--tolerance F] [--min-speedup F]\n"
+               "          [--obs-tolerance F]\n",
                Argv0);
   return 2;
 }
@@ -142,7 +182,7 @@ int usage(const char *Argv0) {
 
 int main(int argc, char **argv) {
   unsigned Jobs = 4, Repeats = 10;
-  double Tolerance = 0.25, MinSpeedup = 2.0;
+  double Tolerance = 0.25, MinSpeedup = 2.0, ObsTolerance = 0.05;
   std::string OutPath, CheckPath;
 
   for (int I = 1; I < argc; ++I) {
@@ -180,6 +220,11 @@ int main(int argc, char **argv) {
       if (!V)
         return usage(argv[0]);
       MinSpeedup = std::strtod(V, nullptr);
+    } else if (Arg == "--obs-tolerance") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      ObsTolerance = std::strtod(V, nullptr);
     } else {
       return usage(argv[0]);
     }
@@ -203,6 +248,17 @@ int main(int argc, char **argv) {
                 Jobs);
   std::printf("%-38s %10.4fs  (%.2fx)\n", Label, M.SweepSeconds,
               M.LegacySeconds / M.SweepSeconds);
+  std::printf("%-38s %10.4fs  (+%.1f%% vs metrics off)\n",
+              "sweep, 1 worker, metrics enabled", M.SweepSecondsJ1Obs,
+              (M.SweepSecondsJ1Obs / M.SweepSecondsJ1 - 1.0) * 100);
+  std::printf("candidates: %llu enumerated, %llu consistent "
+              "(%.1f%% pruned); memo: %llu hits / %llu misses\n",
+              M.CandidatesTotal, M.CandidatesConsistent,
+              M.CandidatesTotal
+                  ? 100.0 * (1.0 - static_cast<double>(M.CandidatesConsistent) /
+                                       static_cast<double>(M.CandidatesTotal))
+                  : 0.0,
+              M.MemoHits, M.MemoMisses);
   std::printf("verdicts identical to legacy: %s\n",
               M.VerdictsMatch ? "yes" : "NO");
 
@@ -262,6 +318,25 @@ int main(int argc, char **argv) {
     if (SpeedupTotal < MinSpeedup) {
       std::fprintf(stderr, "FAIL: sweep speedup %.2fx is below the required "
                    "%.2fx\n", SpeedupTotal, MinSpeedup);
+      return 1;
+    }
+
+    // Observability gate, measured in-run (so baselines committed before
+    // the metrics fields existed still validate): the metrics-enabled
+    // 1-worker sweep must stay within --obs-tolerance of the disabled
+    // one. An absolute 2ms slack floor damps timer noise on the ~15ms
+    // catalogue runs.
+    const double ObsOverhead = M.SweepSecondsJ1Obs - M.SweepSecondsJ1;
+    const double ObsAllowed =
+        std::max(M.SweepSecondsJ1 * ObsTolerance, 0.002);
+    std::printf("obs gate: metrics-enabled sweep +%.4fs over %.4fs "
+                "(allowed <= +%.4fs)\n",
+                ObsOverhead, M.SweepSecondsJ1, ObsAllowed);
+    if (ObsOverhead > ObsAllowed) {
+      std::fprintf(stderr,
+                   "FAIL: enabling metrics costs more than %.0f%% of the "
+                   "sweep wall time\n",
+                   ObsTolerance * 100);
       return 1;
     }
     std::printf("perf gate passed\n");

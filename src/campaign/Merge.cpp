@@ -8,6 +8,7 @@
 
 #include "campaign/Shard.h"
 #include "mole/Mine.h"
+#include "obs/Metrics.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -37,6 +38,33 @@ namespace {
 std::string schemaOf(const JsonValue &Doc) {
   const JsonValue *Schema = Doc.get("schema");
   return Schema && Schema->isString() ? Schema->asString() : std::string();
+}
+
+/// Folds the optional cats-metrics/1 sections of the inputs into \p Root
+/// (counters sum, histograms merge), so a merged campaign report carries
+/// fleet-wide totals. Reports without a metrics section contribute
+/// nothing; when none carries one, \p Root stays metrics-free. Returns a
+/// non-empty error string on a malformed section.
+std::string foldMetricsSections(const std::vector<JsonValue> &Inputs,
+                                JsonValue &Root) {
+  JsonValue Merged;
+  bool Any = false;
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    const JsonValue *Metrics = Inputs[I].get("metrics");
+    if (!Metrics)
+      continue;
+    if (!Any) {
+      Merged = *Metrics;
+      Any = true;
+      continue;
+    }
+    std::string Error;
+    if (!obs::mergeMetricsJson(Merged, *Metrics, Error))
+      return strFormat("input %zu: metrics: %s", I + 1, Error.c_str());
+  }
+  if (Any)
+    Root.set("metrics", std::move(Merged));
+  return std::string();
 }
 
 /// What the sweep merge needs from one input document.
@@ -172,6 +200,8 @@ cats::mergeSweepReports(const std::vector<JsonValue> &Inputs) {
   for (const JsonValue *Test : Ordered)
     Tests.push(*Test);
   Root.set("tests", std::move(Tests));
+  if (std::string Error = foldMetricsSections(Inputs, Root); !Error.empty())
+    return Ret::error(Error);
   return Root;
 }
 
@@ -191,7 +221,10 @@ cats::mergeMineReports(const std::vector<JsonValue> &Inputs) {
   auto Merged = mergeMineReports(Parts);
   if (!Merged)
     return Ret::error(Merged.message());
-  return mineReportToJson(*Merged);
+  JsonValue Root = mineReportToJson(*Merged);
+  if (std::string Error = foldMetricsSections(Inputs, Root); !Error.empty())
+    return Ret::error(Error);
+  return Root;
 }
 
 Expected<JsonValue> cats::mergeReports(const std::vector<JsonValue> &Inputs) {

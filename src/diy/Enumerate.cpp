@@ -7,6 +7,8 @@
 #include "diy/Enumerate.h"
 
 #include "event/Execution.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <map>
 #include <memory>
@@ -128,12 +130,14 @@ public:
   uint64_t run() {
     DiyCycle Prefix;
     extend(Prefix);
+    obs::tick("diy.closures_tried", ClosuresTried);
     return Emitted;
   }
 
 private:
   /// Closure checks on a complete candidate; emits when canonical-new.
   void tryClose(const DiyCycle &Cycle) {
+    ++ClosuresTried; // plain local; flushed to the registry by run()
     const DiyEdge &Last = Cycle.back();
     const DiyEdge &First = Cycle.front();
     if (Last.Dst != First.Src)
@@ -202,6 +206,7 @@ private:
   std::set<std::string> SeenCycles;
   std::set<std::string> SeenNames;
   uint64_t Emitted = 0;
+  uint64_t ClosuresTried = 0;
   bool Stopped = false;
 };
 
@@ -212,7 +217,10 @@ uint64_t cats::enumerateCycles(
     const std::function<bool(const EnumeratedCycle &)> &Fn) {
   if (Opts.MaxEdges == 0)
     return 0;
-  return CycleSearch(Opts, Fn).run();
+  obs::Span EnumerateSpan("diy enumerate");
+  const uint64_t Emitted = CycleSearch(Opts, Fn).run();
+  obs::tick("diy.cycles_emitted", Emitted);
+  return Emitted;
 }
 
 std::vector<EnumeratedCycle>
@@ -269,6 +277,7 @@ cats::makeDiyTestSource(const EnumerateOptions &Opts,
       [Cycles, Index, Target, SynthesisErrors](LitmusTest &Out) -> bool {
         while (*Index < Cycles->size()) {
           const EnumeratedCycle &Next = (*Cycles)[(*Index)++];
+          obs::tick("diy.tests_synthesized");
           auto Test = synthesizeTest(Next.Cycle, Target);
           if (!Test) {
             if (SynthesisErrors)

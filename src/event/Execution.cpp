@@ -6,6 +6,7 @@
 
 #include "event/Execution.h"
 
+#include "obs/Metrics.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -211,9 +212,18 @@ Relation Execution::modelMemo(
     const std::function<Relation()> &Compute) const {
   if (!DerivedCacheEnabled)
     return Compute();
+  // Static instrument handles: resolved once, then each tick is a sharded
+  // relaxed add — cheap enough for this per-candidate path.
+  static obs::Counter &Hits = obs::counter("memo.model_hits");
+  static obs::Counter &Misses = obs::counter("memo.model_misses");
   for (const ModelCacheEntry &E : ModelCache)
-    if (E.Tag == Tag && E.Slot == Slot)
+    if (E.Tag == Tag && E.Slot == Slot) {
+      if (obs::metricsEnabled())
+        Hits.add(1);
       return E.Rel;
+    }
+  if (obs::metricsEnabled())
+    Misses.add(1);
   Relation R = Compute();
   if (ModelCache.empty())
     ModelCache.reserve(48);

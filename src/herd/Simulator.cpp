@@ -6,6 +6,8 @@
 
 #include "herd/Simulator.h"
 
+#include "obs/Metrics.h"
+
 using namespace cats;
 
 void cats::forEachCandidate(
@@ -54,6 +56,9 @@ MultiModelChecker::MultiModelChecker(const CompiledTest &Compiled,
     Result.PerModel[I].TestName = Result.TestName;
     Result.PerModel[I].ModelName = Models[I]->name();
   }
+  Metrics = obs::metricsEnabled();
+  if (Metrics)
+    AxiomKills.assign(Models.size(), {});
 }
 
 void MultiModelChecker::feed(const Candidate &Cand) {
@@ -74,8 +79,16 @@ void MultiModelChecker::feed(const Candidate &Cand) {
   const bool SatisfiesFinal = Cand.Out.satisfies(Final);
 
   for (size_t I = 0; I < Models.size(); ++I) {
-    if (!Models[I]->allows(Cand.Exe))
+    // check() evaluates all four axioms without short-circuiting either
+    // way, so reading the full verdict (for the per-axiom kill tallies)
+    // costs the same as the boolean allows().
+    const Verdict V = Models[I]->check(Cand.Exe);
+    if (!V.Allowed) {
+      if (Metrics)
+        for (Axiom A : V.Violated)
+          ++AxiomKills[I][static_cast<size_t>(A)];
       continue;
+    }
     SimulationResult &R = Result.PerModel[I];
     ++R.CandidatesAllowed;
     R.AllowedOutcomes.insert(Cand.Out);
@@ -90,6 +103,27 @@ MultiSimulationResult MultiModelChecker::take() {
     R.CandidatesTotal = Result.CandidatesTotal;
     R.CandidatesConsistent = Result.CandidatesConsistent;
     R.ConsistentOutcomes = Result.ConsistentOutcomes;
+  }
+
+  // Flush the local tallies into the metrics registry, once per test.
+  if (Metrics) {
+    obs::counter("judge.tests").add(1);
+    obs::counter("judge.candidates_total").add(Result.CandidatesTotal);
+    obs::counter("judge.candidates_consistent")
+        .add(Result.CandidatesConsistent);
+    obs::counter("judge.candidates_inconsistent")
+        .add(Result.CandidatesTotal - Result.CandidatesConsistent);
+    for (size_t I = 0; I < Models.size(); ++I) {
+      const std::string ModelName = Models[I]->name();
+      if (Result.PerModel[I].CandidatesAllowed)
+        obs::counter("judge.allowed." + ModelName)
+            .add(Result.PerModel[I].CandidatesAllowed);
+      for (size_t A = 0; A < AxiomKills[I].size(); ++A)
+        if (AxiomKills[I][A])
+          obs::counter("judge.kill." + ModelName + "." +
+                       axiomName(static_cast<Axiom>(A)))
+              .add(AxiomKills[I][A]);
+    }
   }
   return std::move(Result);
 }

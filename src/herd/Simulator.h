@@ -20,6 +20,7 @@
 #include "litmus/Compiler.h"
 #include "model/Model.h"
 
+#include <array>
 #include <functional>
 #include <set>
 #include <vector>
@@ -98,6 +99,12 @@ private:
   const Condition &Final;
   std::vector<const Model *> Models;
   MultiSimulationResult Result;
+  /// Per-model, per-axiom counts of candidates each axiom killed,
+  /// tallied in plain locals (the inner loop never touches an atomic)
+  /// and flushed to the metrics registry by take(). Only maintained when
+  /// metrics were enabled at construction.
+  bool Metrics = false;
+  std::vector<std::array<unsigned long long, 4>> AxiomKills;
 };
 
 /// Runs one shared candidate enumeration of \p Compiled and checks every

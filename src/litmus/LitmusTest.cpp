@@ -7,6 +7,7 @@
 #include "litmus/LitmusTest.h"
 
 #include "event/Execution.h"
+#include "obs/Metrics.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -184,9 +185,17 @@ std::string Outcome::key() const {
 }
 
 const std::string &Outcome::keyRef() const {
+  // Static instrument handles: this runs per outcome-set comparison, so
+  // each tick must stay a sharded relaxed add, not a registry lookup.
+  static obs::Counter &Builds = obs::counter("memo.outcome_key_builds");
+  static obs::Counter &Hits = obs::counter("memo.outcome_key_hits");
   if (!KeyCacheValid) {
     KeyCache = buildOutcomeKey(*this);
     KeyCacheValid = true;
+    if (obs::metricsEnabled())
+      Builds.add(1);
+  } else if (obs::metricsEnabled()) {
+    Hits.add(1);
   }
   return KeyCache;
 }

@@ -24,6 +24,20 @@ const char *cats::axiomLetter(Axiom A) {
   return "?";
 }
 
+const char *cats::axiomName(Axiom A) {
+  switch (A) {
+  case Axiom::ScPerLocation:
+    return "sc-per-location";
+  case Axiom::NoThinAir:
+    return "no-thin-air";
+  case Axiom::Observation:
+    return "observation";
+  case Axiom::Propagation:
+    return "propagation";
+  }
+  return "?";
+}
+
 std::string Verdict::letters() const {
   std::string Out;
   for (Axiom A : Violated)

@@ -44,6 +44,11 @@ enum class Axiom : uint8_t {
 /// Short display name: "S", "T", "O", "P".
 const char *axiomLetter(Axiom A);
 
+/// Full name as the shipped .cat models label the check ("sc-per-location",
+/// "no-thin-air", "observation", "propagation"); keys the per-axiom metrics
+/// counters.
+const char *axiomName(Axiom A);
+
 /// Outcome of checking one candidate execution against a model.
 struct Verdict {
   /// True when no axiom is violated.

@@ -1,0 +1,126 @@
+//===- Progress.cpp - Campaign progress reporting to stderr ---------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Progress.h"
+
+#include <chrono>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace cats;
+using namespace cats::obs;
+
+namespace {
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool stderrIsTty() {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(fileno(stderr)) != 0;
+#else
+  return false;
+#endif
+}
+
+/// Redraw every 0.25s on a TTY; one line every 2s when redirected.
+constexpr double TtyInterval = 0.25;
+constexpr double PipeInterval = 2.0;
+
+} // namespace
+
+ProgressReporter::ProgressReporter(std::string LabelIn,
+                                   unsigned long long TotalIn, bool EnabledIn)
+    : Label(std::move(LabelIn)), Total(TotalIn), Enabled(EnabledIn),
+      Tty(stderrIsTty()), StartSeconds(nowSeconds()),
+      LastSeconds(StartSeconds) {}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+void ProgressReporter::update(unsigned long long Done,
+                              unsigned long long CacheHits,
+                              unsigned long long CacheMisses) {
+  if (!Enabled || Finished)
+    return;
+  LastDone = Done;
+  LastHits = CacheHits;
+  LastMisses = CacheMisses;
+  const double Now = nowSeconds();
+  const double Interval = Tty ? TtyInterval : PipeInterval;
+  if (Printed && Now - LastSeconds < Interval)
+    return;
+  LastSeconds = Now;
+  print(Done, CacheHits, CacheMisses, /*Final=*/false);
+}
+
+void ProgressReporter::finish() {
+  if (!Enabled || Finished)
+    return;
+  Finished = true;
+  if (!Printed && LastDone == 0)
+    return; // never had anything to say
+  print(LastDone, LastHits, LastMisses, /*Final=*/true);
+}
+
+void ProgressReporter::print(unsigned long long Done,
+                             unsigned long long CacheHits,
+                             unsigned long long CacheMisses, bool Final) {
+  Printed = true;
+  const double Elapsed = nowSeconds() - StartSeconds;
+  const double Rate = Elapsed > 0 ? static_cast<double>(Done) / Elapsed : 0;
+
+  std::string Line = Label + ": " + std::to_string(Done);
+  if (Total) {
+    const double Pct =
+        100.0 * static_cast<double>(Done) / static_cast<double>(Total);
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "/%llu (%.1f%%)", Total, Pct);
+    Line += Buf;
+  }
+  {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), " %.1f tests/s", Rate);
+    Line += Buf;
+  }
+  if (Total && Rate > 0 && Done < Total) {
+    const double Eta = static_cast<double>(Total - Done) / Rate;
+    char Buf[64];
+    if (Eta >= 3600)
+      std::snprintf(Buf, sizeof(Buf), " ETA %.1fh", Eta / 3600);
+    else if (Eta >= 60)
+      std::snprintf(Buf, sizeof(Buf), " ETA %.1fm", Eta / 60);
+    else
+      std::snprintf(Buf, sizeof(Buf), " ETA %.0fs", Eta);
+    Line += Buf;
+  }
+  if (CacheHits + CacheMisses) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), " cache %.0f%% hit",
+                  100.0 * static_cast<double>(CacheHits) /
+                      static_cast<double>(CacheHits + CacheMisses));
+    Line += Buf;
+  }
+  if (Final) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), " in %.1fs", Elapsed);
+    Line += Buf;
+  }
+
+  if (Tty && !Final) {
+    std::fprintf(stderr, "\r\033[K%s", Line.c_str());
+  } else if (Tty) {
+    std::fprintf(stderr, "\r\033[K%s\n", Line.c_str());
+  } else {
+    std::fprintf(stderr, "%s\n", Line.c_str());
+  }
+  std::fflush(stderr);
+}

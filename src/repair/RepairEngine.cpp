@@ -9,6 +9,8 @@
 #include "herd/Simulator.h"
 #include "litmus/Compiler.h"
 #include "model/Registry.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/StringUtils.h"
 #include "sweep/SweepEngine.h"
 
@@ -284,6 +286,17 @@ RepairReport RepairEngine::run(const std::vector<LitmusTest> &Tests) const {
       break;
     ++Report.Rounds;
 
+    // One trace span per lattice level (the whole batched judging round).
+    obs::Span RoundSpan(obs::traceEnabled()
+                            ? strFormat("repair round %u (%zu mutants)",
+                                        Report.Rounds, Jobs.size())
+                            : std::string());
+    if (obs::metricsEnabled()) {
+      obs::counter("repair.rounds").add(1);
+      obs::counter("repair.mutants").add(Jobs.size());
+      obs::histogram("repair.round_mutants").record(Jobs.size());
+    }
+
     std::vector<JudgeOutcome> Verdicts =
         judge(Jobs, Opts.Goal, Opts.Jobs, Opts.LegacyEvaluation);
 
@@ -328,6 +341,16 @@ RepairReport RepairEngine::run(const std::vector<LitmusTest> &Tests) const {
         State.Pending.clear();
         State.Done = true;
       }
+    }
+
+    if (Opts.OnRound) {
+      unsigned long long Mutants = 0;
+      size_t Active = 0;
+      for (const SearchState &State : States) {
+        Mutants += State.Result.MutantsEvaluated;
+        Active += State.Done ? 0 : 1;
+      }
+      Opts.OnRound(Report.Rounds, Mutants, Active);
     }
   }
 

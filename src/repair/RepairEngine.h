@@ -39,6 +39,7 @@
 #include "repair/Mutation.h"
 #include "sweep/Json.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,12 @@ struct RepairOptions {
   /// Bench-only: judge each mutant with one simulate() per model instead
   /// of the batched shared-enumeration pass.
   bool LegacyEvaluation = false;
+  /// Progress hook: called after every lock-step round with the rounds
+  /// completed, mutants judged so far, and the tests still searching
+  /// (cats_repair --progress feeds its reporter from this).
+  std::function<void(unsigned Rounds, unsigned long long Mutants,
+                     size_t ActiveTests)>
+      OnRound;
 };
 
 /// One minimal repairing set.

@@ -6,6 +6,8 @@
 
 #include "run/RunEngine.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "run/Verdict.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
@@ -14,6 +16,7 @@
 #include <chrono>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <thread>
 
 #if defined(__linux__)
@@ -156,7 +159,12 @@ RunTestResult RunEngine::runTest(const LitmusTest &Test,
   Result.ModelName = Reference.name();
   Result.Iterations = Opts.Iterations;
 
-  auto Native = NativeTest::compile(Test);
+  obs::Span TestSpan(obs::traceEnabled() ? "run " + Test.Name
+                                         : std::string());
+  auto Native = [&] {
+    obs::Span CodegenSpan("codegen");
+    return NativeTest::compile(Test);
+  }();
   if (!Native) {
     Result.Error = Native.message();
     return Result;
@@ -175,6 +183,10 @@ RunTestResult RunEngine::runTest(const LitmusTest &Test,
                                        Opts.Iterations, 1)));
   const uint64_t Seed = testSeed(Opts.Seed, Test.Name);
 
+  // Warmup phase: the preallocation of every instance the rounds reuse.
+  std::optional<obs::Span> WarmupSpan;
+  if (obs::traceEnabled())
+    WarmupSpan.emplace("warmup");
   // Shared instances: Batch x NumLocs padded cells; instance I's cells
   // are the contiguous run [I*NumLocs, (I+1)*NumLocs).
   std::vector<PaddedCell> Cells(static_cast<size_t>(Batch) *
@@ -194,6 +206,7 @@ RunTestResult RunEngine::runTest(const LitmusTest &Test,
   SpinBarrier Barrier(NumThreads, Cores >= NumThreads ? 4096 : 64);
   std::vector<uint64_t> WorkerHash(NumThreads, FnvOffset);
   std::map<std::string, RunBucket> Histogram;
+  WarmupSpan.reset();
 
   auto Collect = [&](unsigned Count) {
     std::vector<const Value *> BankPtrs(NumThreads);
@@ -234,20 +247,25 @@ RunTestResult RunEngine::runTest(const LitmusTest &Test,
       Barrier.wait();
       // Worker 0 folds the round while the rest idle at the next round's
       // first barrier; the second barrier made their writes visible.
-      if (T == 0)
+      if (T == 0) {
+        obs::Span CollectSpan("collect");
         Collect(Count);
+      }
       Remaining -= Count;
       ++Round;
     }
   };
 
-  std::vector<std::thread> Threads;
-  Threads.reserve(NumThreads - 1);
-  for (unsigned T = 1; T < NumThreads; ++T)
-    Threads.emplace_back(Worker, T);
-  Worker(0);
-  for (std::thread &Th : Threads)
-    Th.join();
+  {
+    obs::Span RunSpan("run");
+    std::vector<std::thread> Threads;
+    Threads.reserve(NumThreads - 1);
+    for (unsigned T = 1; T < NumThreads; ++T)
+      Threads.emplace_back(Worker, T);
+    Worker(0);
+    for (std::thread &Th : Threads)
+      Th.join();
+  }
 
   uint64_t Hash = FnvOffset;
   for (uint64_t H : WorkerHash)
@@ -262,9 +280,20 @@ RunTestResult RunEngine::runTest(const LitmusTest &Test,
   // Judge from an already-computed simulation when the caller has one
   // (the cats_mine --run pass just swept the same tests); otherwise
   // enumerate the candidate space here.
-  const MultiSimulationResult *Sim = Memo ? Memo(Test.Name) : nullptr;
-  if (!Sim || !judgeHistogramFromSimulation(Test, Reference, *Sim, Result))
-    judgeHistogram(Test, Reference, Result);
+  {
+    obs::Span JudgeSpan("judge");
+    const MultiSimulationResult *Sim = Memo ? Memo(Test.Name) : nullptr;
+    if (!Sim ||
+        !judgeHistogramFromSimulation(Test, Reference, *Sim, Result))
+      judgeHistogram(Test, Reference, Result);
+  }
+  if (obs::metricsEnabled()) {
+    obs::counter("run.tests").add(1);
+    obs::counter("run.iterations").add(Result.Iterations);
+    obs::counter("run.outcome_buckets").add(Result.Histogram.size());
+    obs::histogram("run.test_wall_us")
+        .record(static_cast<unsigned long long>(Result.WallSeconds * 1e6));
+  }
   return Result;
 }
 
@@ -281,8 +310,11 @@ RunReport RunEngine::run(const std::vector<LitmusTest> &Tests,
   Report.Jobs = Cores;
   const auto Start = Clock::now();
   Report.Tests.reserve(Tests.size());
-  for (const LitmusTest &Test : Tests)
+  for (const LitmusTest &Test : Tests) {
     Report.Tests.push_back(runTest(Test, Reference, Memo));
+    if (Opts.OnTest)
+      Opts.OnTest(Report.Tests.size(), Tests.size());
+  }
   Report.WallSeconds =
       std::chrono::duration<double>(Clock::now() - Start).count();
   return Report;

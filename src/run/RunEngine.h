@@ -73,6 +73,10 @@ struct RunOptions {
   ScheduleKind Schedule = ScheduleKind::Shuffle;
   /// Pin worker threads round-robin over the first Jobs cores.
   bool Pin = true;
+  /// Progress hook: called after each test finishes with the counts done
+  /// so far and the campaign size (cats_run --progress feeds its reporter
+  /// from this).
+  std::function<void(size_t Done, size_t Total)> OnTest;
 };
 
 /// One bucket of a test's outcome histogram. The verdict fields are

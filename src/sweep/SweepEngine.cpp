@@ -7,6 +7,8 @@
 #include "sweep/SweepEngine.h"
 
 #include "litmus/Compiler.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <atomic>
 #include <chrono>
@@ -37,27 +39,41 @@ SweepTestResult runOneJob(const SweepJob &Job) {
   SweepTestResult Out;
   Out.TestName = Job.Test.Name;
   const auto Start = std::chrono::steady_clock::now();
+  obs::Span JobSpan(obs::traceEnabled() ? "judge " + Job.Test.Name
+                                        : std::string());
 
   std::string Invalid = Job.Test.validate();
   if (!Invalid.empty()) {
     Out.Error = Invalid;
   } else {
-    auto Compiled = CompiledTest::compile(Job.Test);
-    if (!Compiled)
+    auto Compiled = [&] {
+      obs::Span CompileSpan("compile");
+      return CompiledTest::compile(Job.Test);
+    }();
+    if (!Compiled) {
       Out.Error = Compiled.message();
-    else
+    } else {
+      obs::Span EnumerateSpan("enumerate+judge");
       Out.Result = simulateAll(*Compiled, Job.Models);
+    }
   }
+  if (!Out.Error.empty())
+    obs::tick("sweep.errors");
 
   Out.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  obs::recordSeconds("sweep.job_wall_us", Out.WallSeconds);
   return Out;
 }
 
 } // namespace
 
 SweepReport SweepEngine::run(const std::vector<SweepJob> &Jobs) const {
+  obs::Span RunSpan(obs::traceEnabled() ? "sweep run (" +
+                                              std::to_string(Jobs.size()) +
+                                              " jobs)"
+                                        : std::string());
   SweepReport Report;
   Report.Tests.resize(Jobs.size());
   const unsigned Used =
@@ -124,7 +140,14 @@ SweepEngine::runStreamed(const TestSource &Source,
       More = Source(Skipped);
   }
 
+  // Generation-vs-judging wall split (the ~9:1 ratio from BENCH_diy),
+  // accumulated per batch: source pulls (including diy synthesis and
+  // cache lookups) vs the run() pass over the misses.
+  const bool Metrics = obs::metricsEnabled();
+  double SourceSeconds = 0, JudgeSeconds = 0;
+
   while (More) {
+    obs::Span BatchSpan("sweep batch");
     // One batch = BatchSize source pulls. Cache hits resolve into their
     // slot immediately; misses become jobs judged in one run() pass and
     // scattered back, so the report keeps exact source order either way.
@@ -133,19 +156,29 @@ SweepEngine::runStreamed(const TestSource &Source,
     std::vector<size_t> SlotOfJob;
     Slots.reserve(BatchSize);
     LitmusTest Test;
-    while (Slots.size() < BatchSize && (More = Source(Test))) {
-      ++Consumed;
-      SweepTestResult Hit;
-      if (Hooks.CacheLookup && Hooks.CacheLookup(Test, Hit)) {
-        ++Report.CacheHits;
-        Slots.push_back(std::move(Hit));
-        continue;
+    const auto FillStart = std::chrono::steady_clock::now();
+    {
+      obs::Span FillSpan("pull batch");
+      while (Slots.size() < BatchSize && (More = Source(Test))) {
+        ++Consumed;
+        SweepTestResult Hit;
+        if (Hooks.CacheLookup && Hooks.CacheLookup(Test, Hit)) {
+          ++Report.CacheHits;
+          Slots.push_back(std::move(Hit));
+          continue;
+        }
+        if (Report.CacheUsed)
+          ++Report.CacheMisses;
+        SlotOfJob.push_back(Slots.size());
+        Slots.emplace_back();
+        Batch.push_back(SweepJob{std::move(Test), Models});
       }
-      if (Report.CacheUsed)
-        ++Report.CacheMisses;
-      SlotOfJob.push_back(Slots.size());
-      Slots.emplace_back();
-      Batch.push_back(SweepJob{std::move(Test), Models});
+    }
+    const auto FillEnd = std::chrono::steady_clock::now();
+    if (Metrics) {
+      SourceSeconds +=
+          std::chrono::duration<double>(FillEnd - FillStart).count();
+      obs::histogram("sweep.batch_size").record(Slots.size());
     }
     if (Slots.empty())
       break;
@@ -158,6 +191,15 @@ SweepEngine::runStreamed(const TestSource &Source,
         Slots[SlotOfJob[J]] = std::move(Part.Tests[J]);
       }
     }
+    if (Metrics) {
+      const double BatchJudge =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        FillEnd)
+              .count();
+      JudgeSeconds += BatchJudge;
+      obs::histogram("sweep.batch_wall_us")
+          .record(static_cast<unsigned long long>(BatchJudge * 1e6));
+    }
     for (SweepTestResult &T : Slots)
       Report.Tests.push_back(std::move(T));
     if (Hooks.OnBatch)
@@ -166,6 +208,17 @@ SweepEngine::runStreamed(const TestSource &Source,
   Report.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  if (Metrics) {
+    obs::counter("sweep.tests_consumed").add(Consumed);
+    if (Report.CacheUsed) {
+      obs::counter("sweep.cache_hits").add(Report.CacheHits);
+      obs::counter("sweep.cache_misses").add(Report.CacheMisses);
+    }
+    obs::counter("sweep.generation_wall_us")
+        .add(static_cast<unsigned long long>(SourceSeconds * 1e6));
+    obs::counter("sweep.judge_wall_us")
+        .add(static_cast<unsigned long long>(JudgeSeconds * 1e6));
+  }
   return Report;
 }
 

@@ -22,6 +22,7 @@
 #include "campaign/Merge.h"
 #include "campaign/ResultCache.h"
 #include "campaign/Shard.h"
+#include "obs/Progress.h"
 #include "sweep/ReportIO.h"
 #include "sweep/SweepEngine.h"
 
@@ -127,12 +128,15 @@ inline Status validateCampaignFlags(const CampaignFlags &Flags) {
 /// the checkpoint's completed prefix is skipped at the source and spliced
 /// back into the returned report, so the result equals an uninterrupted
 /// run. \p Spec is the campaign-identity string (every flag that shapes
-/// the stream) the checkpoint is keyed on.
+/// the stream) the checkpoint is keyed on. An enabled \p Progress
+/// reporter is fed from the same per-batch hook (cumulative over a
+/// resumed prefix) and finished before returning.
 inline Expected<SweepReport>
 runCampaignSweep(const char *Tool, const SweepEngine &Engine,
                  TestSource Source, const std::vector<const Model *> &Models,
                  unsigned Batch, const CampaignFlags &Flags,
-                 const std::string &Spec) {
+                 const std::string &Spec,
+                 obs::ProgressReporter *Progress = nullptr) {
   using Ret = Expected<SweepReport>;
 
   Source = shardTestSource(std::move(Source), Flags.Shard);
@@ -182,7 +186,22 @@ runCampaignSweep(const char *Tool, const SweepEngine &Engine,
     };
   }
 
+  if (Progress && Progress->enabled()) {
+    auto Prev = Hooks.OnBatch;
+    const CheckpointState *Pre = &Prefix;
+    Hooks.OnBatch = [Prev, Progress, Pre](const SweepReport &SoFar,
+                                          unsigned long long Consumed) {
+      if (Prev)
+        Prev(SoFar, Consumed);
+      Progress->update(Pre->Consumed + Consumed,
+                       Pre->CacheHits + SoFar.CacheHits,
+                       Pre->CacheMisses + SoFar.CacheMisses);
+    };
+  }
+
   SweepReport Report = Engine.runStreamed(Source, Models, Batch, Hooks);
+  if (Progress)
+    Progress->finish();
 
   // Splice the resumed prefix back in front: the report reads exactly as
   // an uninterrupted campaign's would.

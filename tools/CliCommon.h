@@ -41,11 +41,15 @@
 #ifndef CATS_TOOLS_CLICOMMON_H
 #define CATS_TOOLS_CLICOMMON_H
 
+#include "obs/Metrics.h"
+#include "obs/Progress.h"
+#include "obs/Trace.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -188,6 +192,114 @@ private:
   /// The flag a value() call belongs to, for diagnostics.
   std::string Flag;
 };
+
+/// The observability flags (docs/observability.md) every cats CLI
+/// accepts with the same spelling: --metrics[=FILE], --trace FILE and
+/// --progress. Parsed by parseObsFlag, enabled by applyObsFlags before
+/// the engines run, and flushed by finishObs after the reports are out.
+struct ObsFlags {
+  /// --metrics seen (with or without =FILE): collect counters and
+  /// histograms, and embed the cats-metrics/1 section in JSON reports.
+  bool Metrics = false;
+  /// Non-empty with --metrics=FILE: write the snapshot there instead of
+  /// dumping text to stderr.
+  std::string MetricsPath;
+  /// Non-empty with --trace FILE: write the Chrome trace-event JSON.
+  std::string TracePath;
+  /// --progress: live stderr progress line.
+  bool Progress = false;
+};
+
+/// The FlagDoc rows of the observability vocabulary, for the tools'
+/// usage tables.
+inline std::vector<FlagDoc> obsFlagDocs() {
+  return {
+      {"--metrics[=FILE]", "collect counters and histograms; dump as text\n"
+                           "to stderr, or as cats-metrics/1 JSON to FILE.\n"
+                           "JSON reports gain a \"metrics\" section"},
+      {"--trace FILE", "write a Chrome trace-event JSON of the run's\n"
+                       "phases (loads in Perfetto / chrome://tracing)"},
+      {"--progress", "live progress line on stderr: rate, ETA and the\n"
+                     "cache hit rate (silenced by --quiet)"}};
+}
+
+/// Parses the observability flag under the cursor, if it is one. Returns
+/// 1 when consumed, 0 when the argument is not an observability flag, -1
+/// on a diagnosed bad value.
+inline int parseObsFlag(ArgCursor &Args, const char *Tool, ObsFlags &Out) {
+  if (Args.is("--metrics")) {
+    Out.Metrics = true;
+    return 1;
+  }
+  const std::string &Arg = Args.arg();
+  if (Arg.rfind("--metrics=", 0) == 0) {
+    Out.Metrics = true;
+    Out.MetricsPath = Arg.substr(std::strlen("--metrics="));
+    if (Out.MetricsPath.empty()) {
+      std::fprintf(stderr, "%s: --metrics= needs a file name\n", Tool);
+      return -1;
+    }
+    return 1;
+  }
+  if (Args.is("--trace")) {
+    const char *V = Args.value();
+    if (!V)
+      return -1;
+    Out.TracePath = V;
+    return 1;
+  }
+  if (Args.is("--progress")) {
+    Out.Progress = true;
+    return 1;
+  }
+  return 0;
+}
+
+/// Flips the process-global observability switches the flags ask for.
+/// Call once, after argument parsing and before any engine runs, so the
+/// instrumented paths see the final state.
+inline void applyObsFlags(const ObsFlags &Flags) {
+  if (Flags.Metrics)
+    obs::setMetricsEnabled(true);
+  if (!Flags.TracePath.empty())
+    obs::setTraceEnabled(true);
+}
+
+/// Embeds the metrics snapshot as the additive "metrics" section of a
+/// JSON report (readers ignore it; cats_merge folds it across shards).
+/// No-op unless --metrics was given.
+inline void attachMetrics(JsonValue &Root, const ObsFlags &Flags) {
+  if (Flags.Metrics)
+    Root.set("metrics", obs::metricsToJson());
+}
+
+/// Writes the trace and metrics artifacts the flags requested: the trace
+/// file, the metrics JSON file, or (bare --metrics without a file, and
+/// not \p Quiet) the text dump to stderr. Returns 1 on an I/O failure,
+/// else 0 — fold it into the tool's exit status.
+inline int finishObs(const char *Tool, const ObsFlags &Flags, bool Quiet) {
+  int Failed = 0;
+  if (!Flags.TracePath.empty()) {
+    std::string Error;
+    if (!obs::writeTrace(Flags.TracePath, Error)) {
+      std::fprintf(stderr, "%s: %s\n", Tool, Error.c_str());
+      Failed = 1;
+    }
+  }
+  if (!Flags.MetricsPath.empty()) {
+    std::ofstream Out(Flags.MetricsPath);
+    if (Out)
+      Out << obs::metricsToJson().dump();
+    if (!Out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", Tool,
+                   Flags.MetricsPath.c_str());
+      Failed = 1;
+    }
+  } else if (Flags.Metrics && !Quiet) {
+    std::fprintf(stderr, "%s", obs::metricsToText().c_str());
+  }
+  return Failed;
+}
 
 } // namespace cli
 } // namespace cats

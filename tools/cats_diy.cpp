@@ -57,6 +57,8 @@ int usage(const char *Argv0) {
       {"--quiet", "suppress the per-cycle listing"}};
   for (const cli::FlagDoc &F : cli::campaignFlagDocs(/*WithCheckpoint=*/true))
     Flags.push_back(F);
+  for (const cli::FlagDoc &F : cli::obsFlagDocs())
+    Flags.push_back(F);
   return cli::printUsage(
       Argv0, "[options]",
       "Exhaustively enumerates the well-formed critical cycles of an\n"
@@ -88,6 +90,7 @@ int main(int argc, char **argv) {
   bool Synthesize = false, Sweep = false, Quiet = false;
   unsigned Jobs = 0, Batch = 64;
   cli::CampaignFlags Campaign;
+  cli::ObsFlags Obs;
 
   cli::ArgCursor Args("cats_diy", argc, argv);
   while (Args.next()) {
@@ -96,6 +99,9 @@ int main(int argc, char **argv) {
     if (int Took = cli::parseCampaignFlag(Args, "cats_diy",
                                           /*WithCheckpoint=*/true, Campaign)) {
       if (Took < 0)
+        return 2;
+    } else if (int TookObs = cli::parseObsFlag(Args, "cats_diy", Obs)) {
+      if (TookObs < 0)
         return 2;
     } else if (Args.is("--arch")) {
       const char *V = Args.value();
@@ -182,6 +188,7 @@ int main(int argc, char **argv) {
     return 2;
   }
   const bool NeedTests = Synthesize || Sweep || !ExportDir.empty();
+  cli::applyObsFlags(Obs);
 
   // Phase 1: enumerate the matching cycles (a bad --filter fails here).
   std::vector<CycleRecord> Records;
@@ -221,12 +228,17 @@ int main(int argc, char **argv) {
     Out << Test.toString();
   };
 
+  // The enumeration is done, so the total is known either way.
+  obs::ProgressReporter Progress("cats_diy", Records.size(), Obs.Progress);
+
   // Phase 2: explicit synthesis / export. Skipped when sweeping — the
   // sweep source below synthesizes (and exports) on demand, so each
   // cycle is synthesized exactly once either way.
   if ((Synthesize || !ExportDir.empty()) && !Sweep) {
-    for (CycleRecord &R : Records) {
+    for (size_t I = 0; I < Records.size(); ++I) {
+      CycleRecord &R = Records[I];
       auto Test = synthesizeTest(R.Cycle.Cycle, Opts.Target);
+      Progress.update(I + 1);
       if (!Test) {
         R.Error = Test.message();
         ++SynthesisErrors;
@@ -279,7 +291,7 @@ int main(int argc, char **argv) {
         ";models=" + joinStrings(cli::modelNamesOf(Models), ",") +
         ";shard=" + Campaign.Shard.toString();
     auto Swept = cli::runCampaignSweep("cats_diy", Engine, Source, Models,
-                                       Batch, Campaign, Spec);
+                                       Batch, Campaign, Spec, &Progress);
     if (!Swept) {
       std::fprintf(stderr, "cats_diy: %s\n", Swept.message().c_str());
       return 2;
@@ -308,6 +320,8 @@ int main(int argc, char **argv) {
         R.Verdicts.push_back({M.ModelName, M.verdict()});
     }
   }
+
+  Progress.finish();
 
   // Listing.
   if (!Quiet) {
@@ -382,6 +396,7 @@ int main(int argc, char **argv) {
       Cycles.push(std::move(Entry));
     }
     Root.set("cycles", std::move(Cycles));
+    cli::attachMetrics(Root, Obs);
     std::ofstream Out(JsonPath);
     if (!Out) {
       std::fprintf(stderr, "cats_diy: cannot write %s\n", JsonPath.c_str());
@@ -402,10 +417,14 @@ int main(int argc, char **argv) {
                    SweepJsonPath.c_str());
       return 1;
     }
-    Out << cli::campaignSweepJson(Report, Campaign).dump();
+    JsonValue SweepRoot = cli::campaignSweepJson(Report, Campaign);
+    cli::attachMetrics(SweepRoot, Obs);
+    Out << SweepRoot.dump();
     if (!Quiet)
       std::printf("wrote %s\n", SweepJsonPath.c_str());
   }
 
-  return (SynthesisErrors || SweepFailed || ExportFailed) ? 1 : 0;
+  const int ObsFailed = cli::finishObs("cats_diy", Obs, Quiet);
+  return (SynthesisErrors || SweepFailed || ExportFailed || ObsFailed) ? 1
+                                                                       : 0;
 }

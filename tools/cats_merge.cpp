@@ -34,6 +34,13 @@ using namespace cats;
 namespace {
 
 int usage(const char *Argv0) {
+  std::vector<cli::FlagDoc> Flags = {
+      {"-o FILE", "write the merged report to FILE (default: stdout)"},
+      {"--zero-wall", "zero every wall_seconds field, so two runs of\n"
+                      "the same campaign compare byte-identically"},
+      {"--quiet", "do not print the summary line"}};
+  for (const cli::FlagDoc &F : cli::obsFlagDocs())
+    Flags.push_back(F);
   return cli::printUsage(
       Argv0, "[options] <report.json>...",
       "Folds shard reports into one document of the same schema.\n"
@@ -41,14 +48,12 @@ int usage(const char *Argv0) {
       "1..N set and interleave back into single-process source order;\n"
       "reports without stanzas concatenate in argument order. Mine\n"
       "reports merge by summing per-family aggregates (their merged\n"
-      "test_names are sorted; static sections are refused).\n"
+      "test_names are sorted; static sections are refused). Input\n"
+      "\"metrics\" sections fold too: counters sum, histograms merge.\n"
       "\n"
       "A single input passes through, which with --zero-wall makes this\n"
       "tool the normalizer for byte-comparing reports.",
-      {{"-o FILE", "write the merged report to FILE (default: stdout)"},
-       {"--zero-wall", "zero every wall_seconds field, so two runs of\n"
-                       "the same campaign compare byte-identically"},
-       {"--quiet", "do not print the summary line"}});
+      Flags);
 }
 
 } // namespace
@@ -57,12 +62,16 @@ int main(int argc, char **argv) {
   std::string OutPath;
   bool ZeroWall = false, Quiet = false;
   std::vector<std::string> Paths;
+  cli::ObsFlags Obs;
 
   cli::ArgCursor Args("cats_merge", argc, argv);
   while (Args.next()) {
     if (Args.isHelp())
       return usage(argv[0]);
-    if (Args.is("-o") || Args.is("--output")) {
+    if (int TookObs = cli::parseObsFlag(Args, "cats_merge", Obs)) {
+      if (TookObs < 0)
+        return 2;
+    } else if (Args.is("-o") || Args.is("--output")) {
       const char *V = Args.value();
       if (!V)
         return 2;
@@ -83,6 +92,9 @@ int main(int argc, char **argv) {
     return usage(argv[0]);
   }
 
+  cli::applyObsFlags(Obs);
+  obs::ProgressReporter Progress("cats_merge", Paths.size(), Obs.Progress);
+
   std::vector<JsonValue> Inputs;
   for (const std::string &Path : Paths) {
     std::ifstream In(Path);
@@ -99,7 +111,10 @@ int main(int argc, char **argv) {
       return 2;
     }
     Inputs.push_back(Doc.take());
+    obs::tick("merge.reports");
+    Progress.update(Inputs.size());
   }
+  Progress.finish();
 
   auto Merged = mergeReports(Inputs);
   if (!Merged) {
@@ -122,5 +137,8 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "cats_merge: merged %zu report(s) into %s\n",
                    Paths.size(), OutPath.c_str());
   }
-  return 0;
+  // Note: the merged document's "metrics" section is the fold of the
+  // inputs' sections (src/campaign/Merge.cpp), never this process's own
+  // registry — finishObs only writes the --trace/--metrics artifacts.
+  return cli::finishObs("cats_merge", Obs, Quiet);
 }

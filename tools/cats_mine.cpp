@@ -64,6 +64,8 @@ int usage(const char *Argv0) {
   for (const cli::FlagDoc &F :
        cli::campaignFlagDocs(/*WithCheckpoint=*/false))
     Flags.push_back(F);
+  for (const cli::FlagDoc &F : cli::obsFlagDocs())
+    Flags.push_back(F);
   return cli::printUsage(
       Argv0, "[options] [<file.litmus>|<dir>]...",
       "Mines observed-vs-forbidden outcome patterns: sweeps a corpus\n"
@@ -93,6 +95,7 @@ int main(int argc, char **argv) {
   RunOptions RunOpts;
   std::vector<std::string> ModelNames, Paths, MolePrograms;
   cli::CampaignFlags Campaign;
+  cli::ObsFlags Obs;
 
   cli::ArgCursor Args("cats_mine", argc, argv);
   while (Args.next()) {
@@ -102,6 +105,9 @@ int main(int argc, char **argv) {
                                           /*WithCheckpoint=*/false,
                                           Campaign)) {
       if (Took < 0)
+        return 2;
+    } else if (int TookObs = cli::parseObsFlag(Args, "cats_mine", Obs)) {
+      if (TookObs < 0)
         return 2;
     } else if (Args.is("--models")) {
       if (!Args.commaList(ModelNames))
@@ -218,6 +224,9 @@ int main(int argc, char **argv) {
   // streamed in batches. With --run, the streamed tests are teed into a
   // corpus for the native execution pass (the only place the whole
   // corpus materializes, which --run implies anyway).
+  cli::applyObsFlags(Obs);
+  obs::ProgressReporter Progress("cats_mine", 0, Obs.Progress);
+
   SweepEngine Engine(SweepOptions{Jobs});
   SweepReport Report;
   std::vector<std::string> LoadErrors;
@@ -243,8 +252,17 @@ int main(int argc, char **argv) {
         RunCorpus.push_back(Out);
         return true;
       };
-    SweepReport Part = Engine.runStreamed(
-        Teed, Models, Batch, Cache ? Cache->hooks(Models) : StreamHooks{});
+    StreamHooks Hooks = Cache ? Cache->hooks(Models) : StreamHooks{};
+    if (Progress.enabled())
+      // Cumulative over the earlier sources: the accumulated Report holds
+      // everything swept before this one.
+      Hooks.OnBatch = [&Progress, &Report](const SweepReport &SoFar,
+                                           unsigned long long Consumed) {
+        Progress.update(Report.Tests.size() + Consumed,
+                        Report.CacheHits + SoFar.CacheHits,
+                        Report.CacheMisses + SoFar.CacheMisses);
+      };
+    SweepReport Part = Engine.runStreamed(Teed, Models, Batch, Hooks);
     for (SweepTestResult &T : Part.Tests)
       Report.Tests.push_back(std::move(T));
     Report.Jobs = std::max(Report.Jobs, Part.Jobs);
@@ -275,6 +293,7 @@ int main(int argc, char **argv) {
     }
     SweepInto(*Source);
   }
+  Progress.finish();
   for (const std::string &Problem : LoadErrors)
     std::fprintf(stderr, "cats_mine: %s\n", Problem.c_str());
 
@@ -296,6 +315,11 @@ int main(int argc, char **argv) {
     for (const SweepTestResult &T : Report.Tests)
       if (T.Error.empty())
         Swept.emplace(T.TestName, &T.Result);
+    obs::ProgressReporter RunProgress("cats_mine run", RunCorpus.size(),
+                                      Obs.Progress);
+    RunOpts.OnTest = [&RunProgress](size_t Done, size_t) {
+      RunProgress.update(Done);
+    };
     RunEngine NativeEngine(RunOpts);
     RunReport Run = NativeEngine.run(
         RunCorpus, *RunModel,
@@ -303,6 +327,7 @@ int main(int argc, char **argv) {
           auto It = Swept.find(Name);
           return It == Swept.end() ? nullptr : It->second;
         });
+    RunProgress.finish();
     attachEmpirical(Mined, Run);
     for (const RunTestResult &T : Run.Tests) {
       if (!T.Error.empty())
@@ -382,10 +407,16 @@ int main(int argc, char **argv) {
                    JsonPath.c_str());
       return 1;
     }
-    Out << mineReportToJson(Mined).dump();
+    JsonValue Root = mineReportToJson(Mined);
+    cli::attachMetrics(Root, Obs);
+    Out << Root.dump();
     if (!Quiet)
       std::printf("wrote %s\n", JsonPath.c_str());
   }
 
-  return (!LoadErrors.empty() || Mined.CorpusErrors || RunUnsound) ? 1 : 0;
+  const int ObsFailed = cli::finishObs("cats_mine", Obs, Quiet);
+  return (!LoadErrors.empty() || Mined.CorpusErrors || RunUnsound ||
+          ObsFailed)
+             ? 1
+             : 0;
 }

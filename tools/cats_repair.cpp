@@ -37,6 +37,23 @@ using namespace cats;
 namespace {
 
 int usage(const char *Argv0) {
+  std::vector<cli::FlagDoc> Flags = {
+      {"--model NAME", "target model for every test (default: each\n"
+                       "test's architecture default)"},
+      {"--goal G", "forbid: make the exists-clause unobservable\n"
+                   "(default); sc: match the native SC outcomes"},
+      {"--jobs N", "worker threads (default: hardware concurrency)"},
+      {"--filter REGEX", "keep only tests whose name matches"},
+      {"--all-minimal", "print every minimal repair (default: cheapest)"},
+      {"--catalogue", "add the built-in figure catalogue to the inputs"},
+      {"--battery ARCH", "add the diy battery for ARCH (power, arm, tso)"},
+      {"--max-per-family N", "cap the battery size per family (default 16,\n"
+                             "0 = unlimited)"},
+      {"--ww-fences", "include write-write-only fences (eieio, dmb.st)"},
+      {"--json FILE", "write the cats-repair-report/1 JSON report"},
+      {"--quiet", "suppress the per-test text blocks"}};
+  for (const cli::FlagDoc &F : cli::obsFlagDocs())
+    Flags.push_back(F);
   return cli::printUsage(
       Argv0, "[options] [<file.litmus>|<dir>]...",
       "Computes minimal fence/dependency insertions restoring a goal on a\n"
@@ -46,20 +63,7 @@ int usage(const char *Argv0) {
       "Inputs: .litmus files, directories (scanned for *.litmus), the\n"
       "built-in figure catalogue, and/or a generated diy battery. With no\n"
       "input, the catalogue runs.",
-      {{"--model NAME", "target model for every test (default: each\n"
-                        "test's architecture default)"},
-       {"--goal G", "forbid: make the exists-clause unobservable\n"
-                    "(default); sc: match the native SC outcomes"},
-       {"--jobs N", "worker threads (default: hardware concurrency)"},
-       {"--filter REGEX", "keep only tests whose name matches"},
-       {"--all-minimal", "print every minimal repair (default: cheapest)"},
-       {"--catalogue", "add the built-in figure catalogue to the inputs"},
-       {"--battery ARCH", "add the diy battery for ARCH (power, arm, tso)"},
-       {"--max-per-family N", "cap the battery size per family (default 16,\n"
-                              "0 = unlimited)"},
-       {"--ww-fences", "include write-write-only fences (eieio, dmb.st)"},
-       {"--json FILE", "write the cats-repair-report/1 JSON report"},
-       {"--quiet", "suppress the per-test text blocks"}});
+      Flags);
 }
 
 } // namespace
@@ -70,12 +74,16 @@ int main(int argc, char **argv) {
   unsigned MaxPerFamily = 16;
   std::string JsonPath, Filter, ModelName, BatteryArch;
   std::vector<std::string> Paths;
+  cli::ObsFlags Obs;
 
   cli::ArgCursor Args("cats_repair", argc, argv);
   while (Args.next()) {
     if (Args.isHelp())
       return usage(argv[0]);
-    if (Args.is("--jobs")) {
+    if (int TookObs = cli::parseObsFlag(Args, "cats_repair", Obs)) {
+      if (TookObs < 0)
+        return 2;
+    } else if (Args.is("--jobs")) {
       if (!Args.unsignedValue(Opts.Jobs))
         return 2;
     } else if (Args.is("--model")) {
@@ -169,9 +177,16 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  // Run the campaign.
+  // Run the campaign. Repair work is mutants judged, not tests, so the
+  // progress line counts mutants (the total is the lattice's to know).
+  cli::applyObsFlags(Obs);
+  obs::ProgressReporter Progress("cats_repair mutants", 0, Obs.Progress);
+  Opts.OnRound = [&Progress](unsigned, unsigned long long Mutants, size_t) {
+    Progress.update(Mutants);
+  };
   RepairEngine Engine(Opts);
   RepairReport Report = Engine.run(Tests);
+  Progress.finish();
 
   if (!Quiet) {
     for (const TestRepairResult &T : Report.Tests) {
@@ -200,10 +215,13 @@ int main(int argc, char **argv) {
                    JsonPath.c_str());
       return 1;
     }
-    Out << repairReportToJson(Report).dump();
+    JsonValue Root = repairReportToJson(Report);
+    cli::attachMetrics(Root, Obs);
+    Out << Root.dump();
     if (!Quiet)
       std::printf("wrote %s\n", JsonPath.c_str());
   }
 
-  return (LoadFailed || !Report.allOk()) ? 1 : 0;
+  const int ObsFailed = cli::finishObs("cats_repair", Obs, Quiet);
+  return (LoadFailed || !Report.allOk() || ObsFailed) ? 1 : 0;
 }

@@ -35,6 +35,23 @@ using namespace cats;
 namespace {
 
 int usage(const char *Argv0) {
+  std::vector<cli::FlagDoc> Flags = {
+      {"--iterations N", "executions sampled per test (default: 100000)"},
+      {"--jobs N", "cores used for pinning (default: hardware)"},
+      {"--seed N", "schedule seed (default: 42); fixed seed =>\n"
+                   "identical schedules and histogram bucket order"},
+      {"--batch N", "preallocated test instances per round (512)"},
+      {"--schedule S", "shuffle | stride | seq (default: shuffle)"},
+      {"--no-pin", "do not pin worker threads by affinity"},
+      {"--model NAME", "reference model (default: the host's — TSO on\n"
+                       "x86, ARM on aarch64, else Power)"},
+      {"--filter REGEX", "keep only tests whose name matches"},
+      {"--catalogue", "add the built-in figure catalogue to the inputs"},
+      {"--histogram", "print each test's outcome histogram"},
+      {"--json FILE", "write the cats-run-report/1 JSON report"},
+      {"--quiet", "suppress the summary table"}};
+  for (const cli::FlagDoc &F : cli::obsFlagDocs())
+    Flags.push_back(F);
   return cli::printUsage(
       Argv0, "[options] [<file.litmus>|<dir>]...",
       "Executes litmus tests as native concurrent code (relaxed atomics,\n"
@@ -44,20 +61,7 @@ int usage(const char *Argv0) {
       "\n"
       "Inputs: .litmus files, directories (scanned for *.litmus), and/or\n"
       "the built-in figure catalogue. With no input, the catalogue runs.",
-      {{"--iterations N", "executions sampled per test (default: 100000)"},
-       {"--jobs N", "cores used for pinning (default: hardware)"},
-       {"--seed N", "schedule seed (default: 42); fixed seed =>\n"
-                    "identical schedules and histogram bucket order"},
-       {"--batch N", "preallocated test instances per round (512)"},
-       {"--schedule S", "shuffle | stride | seq (default: shuffle)"},
-       {"--no-pin", "do not pin worker threads by affinity"},
-       {"--model NAME", "reference model (default: the host's — TSO on\n"
-                        "x86, ARM on aarch64, else Power)"},
-       {"--filter REGEX", "keep only tests whose name matches"},
-       {"--catalogue", "add the built-in figure catalogue to the inputs"},
-       {"--histogram", "print each test's outcome histogram"},
-       {"--json FILE", "write the cats-run-report/1 JSON report"},
-       {"--quiet", "suppress the summary table"}});
+      Flags);
 }
 
 } // namespace
@@ -67,12 +71,16 @@ int main(int argc, char **argv) {
   bool UseCatalogue = false, Histogram = false, Quiet = false;
   std::string Filter, JsonPath, ModelName;
   std::vector<std::string> Paths;
+  cli::ObsFlags Obs;
 
   cli::ArgCursor Args("cats_run", argc, argv);
   while (Args.next()) {
     if (Args.isHelp())
       return usage(argv[0]);
-    if (Args.is("--iterations")) {
+    if (int TookObs = cli::parseObsFlag(Args, "cats_run", Obs)) {
+      if (TookObs < 0)
+        return 2;
+    } else if (Args.is("--iterations")) {
       if (!Args.unsignedValue(Opts.Iterations))
         return 2;
     } else if (Args.is("--jobs")) {
@@ -159,8 +167,12 @@ int main(int argc, char **argv) {
   }
 
   // Run.
+  cli::applyObsFlags(Obs);
+  obs::ProgressReporter Progress("cats_run", Tests.size(), Obs.Progress);
+  Opts.OnTest = [&Progress](size_t Done, size_t) { Progress.update(Done); };
   RunEngine Engine(Opts);
   RunReport Report = Engine.run(Tests, *Reference);
+  Progress.finish();
 
   if (!Quiet) {
     std::printf("%-34s %10s %8s %-7s %-9s %8s %8s\n", "test", "iters",
@@ -210,10 +222,13 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "cats_run: cannot write %s\n", JsonPath.c_str());
       return 1;
     }
-    Out << runReportToJson(Report).dump();
+    JsonValue Root = runReportToJson(Report);
+    cli::attachMetrics(Root, Obs);
+    Out << Root.dump();
     if (!Quiet)
       std::printf("wrote %s\n", JsonPath.c_str());
   }
 
-  return (LoadFailed || !Report.allSound()) ? 1 : 0;
+  const int ObsFailed = cli::finishObs("cats_run", Obs, Quiet);
+  return (LoadFailed || !Report.allSound() || ObsFailed) ? 1 : 0;
 }

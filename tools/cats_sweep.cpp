@@ -51,6 +51,8 @@ int usage(const char *Argv0) {
       {"--quiet", "suppress the summary table"}};
   for (const cli::FlagDoc &F : cli::campaignFlagDocs(/*WithCheckpoint=*/true))
     Flags.push_back(F);
+  for (const cli::FlagDoc &F : cli::obsFlagDocs())
+    Flags.push_back(F);
   return cli::printUsage(
       Argv0, "[options] [<file.litmus>|<dir>]...",
       "Runs a parallel shared-enumeration sweep: every test is compiled\n"
@@ -74,6 +76,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> ModelNames;
   std::vector<std::string> Paths;
   cli::CampaignFlags Campaign;
+  cli::ObsFlags Obs;
 
   cli::ArgCursor Args("cats_sweep", argc, argv);
   while (Args.next()) {
@@ -82,6 +85,9 @@ int main(int argc, char **argv) {
     if (int Took = cli::parseCampaignFlag(Args, "cats_sweep",
                                           /*WithCheckpoint=*/true, Campaign)) {
       if (Took < 0)
+        return 2;
+    } else if (int TookObs = cli::parseObsFlag(Args, "cats_sweep", Obs)) {
+      if (TookObs < 0)
         return 2;
     } else if (Args.is("--jobs")) {
       if (!Args.unsignedValue(Jobs))
@@ -138,12 +144,18 @@ int main(int argc, char **argv) {
   if (Paths.empty() && !UseCatalogue)
     UseCatalogue = true;
 
+  cli::applyObsFlags(Obs);
+  obs::ProgressReporter Progress("cats_sweep", 0, Obs.Progress);
+
   SweepEngine Engine(SweepOptions{Jobs});
   SweepReport Report;
   std::vector<LitmusTest> Tests; // materialized path only, for --herd
   bool LoadFailed = false;
 
-  if (Campaign.active()) {
+  // --progress reports per streamed batch, so on its own (no campaign
+  // flags) it routes through the streamed engine too — identical report,
+  // live pulse. --herd keeps the materialized path.
+  if (Campaign.active() || (Obs.Progress && !Herd)) {
     // Streamed campaign: tests parse lazily at pull time, flow through
     // the shard filter and the result cache, and checkpoint per batch.
     std::vector<std::string> LoadErrors;
@@ -159,7 +171,8 @@ int main(int argc, char **argv) {
         ";models=" + joinStrings(cli::modelNamesOf(Models), ",") +
         ";shard=" + Campaign.Shard.toString();
     auto Swept = cli::runCampaignSweep("cats_sweep", Engine, Source.take(),
-                                       Models, Batch, Campaign, Spec);
+                                       Models, Batch, Campaign, Spec,
+                                       &Progress);
     for (const std::string &Problem : LoadErrors)
       std::fprintf(stderr, "cats_sweep: %s\n", Problem.c_str());
     LoadFailed = !LoadErrors.empty();
@@ -186,6 +199,7 @@ int main(int argc, char **argv) {
     }
     Report = Engine.run(makeJobs(Tests, Models));
   }
+  Progress.finish();
 
   // Summary table: one row per test, one verdict column per model.
   if (!Quiet) {
@@ -232,10 +246,13 @@ int main(int argc, char **argv) {
                    JsonPath.c_str());
       return 1;
     }
-    Out << cli::campaignSweepJson(Report, Campaign).dump();
+    JsonValue Root = cli::campaignSweepJson(Report, Campaign);
+    cli::attachMetrics(Root, Obs);
+    Out << Root.dump();
     if (!Quiet)
       std::printf("wrote %s\n", JsonPath.c_str());
   }
 
-  return (LoadFailed || !Report.allOk()) ? 1 : 0;
+  const int ObsFailed = cli::finishObs("cats_sweep", Obs, Quiet);
+  return (LoadFailed || !Report.allOk() || ObsFailed) ? 1 : 0;
 }

@@ -25,12 +25,12 @@
 #include "litmus/Parser.h"
 
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace cats;
 
@@ -49,7 +49,7 @@ std::string readFile(const std::string &Path, bool &Ok) {
   return Buf.str();
 }
 
-int checkCorpus(const std::string &Dir) {
+int checkCorpus(const std::string &Dir, bool Quiet) {
   unsigned Problems = 0;
   std::set<std::string> Expected;
   for (const CatalogEntry &Entry : figureCatalog()) {
@@ -85,43 +85,65 @@ int checkCorpus(const std::string &Dir) {
                  Problems, Dir.c_str());
     return 1;
   }
-  std::printf("corpus in sync: %zu files match the catalogue\n",
-              figureCatalog().size());
+  if (!Quiet)
+    std::printf("corpus in sync: %zu files match the catalogue\n",
+                figureCatalog().size());
   return 0;
 }
 
 } // namespace
 
 int usage(const char *Argv0) {
+  std::vector<cats::cli::FlagDoc> Flags = {
+      {"--check", "diff <dir> against the catalogue (missing, stale,\n"
+                  "orphaned files) without writing; exit 1 on mismatch"},
+      {"--quiet", "suppress the summary line"}};
+  for (const cats::cli::FlagDoc &F : cats::cli::obsFlagDocs())
+    Flags.push_back(F);
   return cats::cli::printUsage(
       Argv0, "[options] <dir>",
       "Writes every figure-catalogue entry to <dir>/<name>.litmus.\n"
       "tests/corpus.cpp asserts the committed litmus/ directory stays in\n"
       "sync with the catalogue; rerun after changing Catalog.cpp.",
-      {{"--check", "diff <dir> against the catalogue (missing, stale,\n"
-                   "orphaned files) without writing; exit 1 on mismatch"}});
+      Flags);
 }
 
 int main(int argc, char **argv) {
-  bool Check = false;
-  const char *Dir = nullptr;
-  bool TooMany = false;
-  for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--help") == 0 ||
-        std::strcmp(argv[I], "-h") == 0)
-      return usage(argv[0]);
-    if (std::strcmp(argv[I], "--check") == 0)
-      Check = true;
-    else if (!Dir)
-      Dir = argv[I];
-    else
-      TooMany = true;
-  }
-  if (!Dir || TooMany)
-    return usage(argv[0]);
-  if (Check)
-    return checkCorpus(Dir);
+  bool Check = false, Quiet = false;
+  std::vector<std::string> Dirs;
+  cli::ObsFlags Obs;
 
+  cli::ArgCursor Args("export_corpus", argc, argv);
+  while (Args.next()) {
+    if (Args.isHelp())
+      return usage(argv[0]);
+    if (int TookObs = cli::parseObsFlag(Args, "export_corpus", Obs)) {
+      if (TookObs < 0)
+        return 2;
+    } else if (Args.is("--check")) {
+      Check = true;
+    } else if (Args.is("--quiet")) {
+      Quiet = true;
+    } else if (Args.isFlag()) {
+      Args.unknownOption();
+      return usage(argv[0]);
+    } else {
+      Dirs.push_back(Args.arg());
+    }
+  }
+  if (Dirs.size() != 1)
+    return usage(argv[0]);
+  const std::string &Dir = Dirs.front();
+
+  cli::applyObsFlags(Obs);
+  if (Check) {
+    const int Rc = checkCorpus(Dir, Quiet);
+    const int ObsFailed = cli::finishObs("export_corpus", Obs, Quiet);
+    return Rc ? Rc : ObsFailed;
+  }
+
+  obs::ProgressReporter Progress("export_corpus", figureCatalog().size(),
+                                 Obs.Progress);
   unsigned Written = 0;
   for (const CatalogEntry &Entry : figureCatalog()) {
     std::string Text = Entry.Test.toString();
@@ -132,15 +154,18 @@ int main(int argc, char **argv) {
                    Entry.Test.Name.c_str(), Reparsed.message().c_str());
       return 1;
     }
-    std::string Path = std::string(Dir) + "/" + Entry.Test.Name + ".litmus";
+    std::string Path = Dir + "/" + Entry.Test.Name + ".litmus";
     std::ofstream Out(Path);
     if (!Out) {
       std::fprintf(stderr, "cannot write %s\n", Path.c_str());
       return 1;
     }
     Out << Text;
-    ++Written;
+    obs::tick("export.files_written");
+    Progress.update(++Written);
   }
-  std::printf("wrote %u litmus files to %s\n", Written, Dir);
-  return 0;
+  Progress.finish();
+  if (!Quiet)
+    std::printf("wrote %u litmus files to %s\n", Written, Dir.c_str());
+  return cli::finishObs("export_corpus", Obs, Quiet);
 }
