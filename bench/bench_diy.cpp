@@ -20,8 +20,19 @@
 ///   bench_diy --check FILE         re-measure and fail (exit 1) when
 ///                                  normalized_gen_cost regressed more
 ///                                  than --tolerance (default 0.25) over
-///                                  the committed baseline, or when the
-///                                  enumeration stops being deterministic.
+///                                  the committed baseline, when the
+///                                  enumeration stops being deterministic,
+///                                  when the pruned backend is less than
+///                                  --min-backend-speedup (default 3x)
+///                                  faster than naive on the size-6
+///                                  corpus, or when the internal-com
+///                                  slice reports a zero prune rate.
+///
+/// Two extra corpora quantify the incremental enumerator
+/// (docs/enumeration.md): a size-6 slice judged under both backends (the
+/// speedup measurement), and an internal-communication slice whose
+/// same-location po pairs make the partial-assignment cut actually fire
+/// (the prune-rate measurement).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +68,29 @@ EnumerateOptions sliceOptions() {
   return Opts;
 }
 
+/// The backend-speedup corpus: every six-event Power cycle, capped so the
+/// naive reference pass stays in benchmark territory.
+EnumerateOptions size6Options() {
+  EnumerateOptions Opts;
+  Opts.Target = Arch::Power;
+  Opts.MinEdges = 6;
+  Opts.MaxEdges = 6;
+  Opts.Limit = 400;
+  return Opts;
+}
+
+/// The prune-rate corpus: internal-communication detours put several
+/// same-location accesses on one thread, so po-loc is non-empty and the
+/// enumerator's partial cut has something to do.
+EnumerateOptions internalComOptions() {
+  EnumerateOptions Opts;
+  Opts.Target = Arch::Power;
+  Opts.MaxEdges = 5;
+  Opts.InternalCom = true;
+  Opts.Limit = 300;
+  return Opts;
+}
+
 struct Measurement {
   uint64_t Cycles = 0;
   unsigned Tests = 0;
@@ -73,7 +107,50 @@ struct Measurement {
   unsigned long long TestsSynthesized = 0;
   unsigned long long CandidatesTotal = 0;
   unsigned long long CandidatesConsistent = 0;
+  /// Size-6 backend comparison: the same corpus streamed through the
+  /// naive and the pruned backend at 1 worker.
+  unsigned Size6Tests = 0;
+  double Size6NaiveSeconds = 0;
+  double Size6PrunedSeconds = 0;
+  /// Internal-com slice counters from a metrics-enabled pruned pass; the
+  /// prune rate is PrunedCandidates / CandidatesTotal.
+  unsigned long long IcCandidatesTotal = 0;
+  unsigned long long IcPrunedCandidates = 0;
+  unsigned long long IcPartialCuts = 0;
+  unsigned long long IcSymmetryReused = 0;
 };
+
+/// Materializes a slice's tests up front, so backend passes time judging
+/// only (synthesis is backend-independent and would dilute the ratio).
+std::vector<SweepJob> materializeJobs(const EnumerateOptions &Opts) {
+  auto Source = makeDiyTestSource(Opts);
+  if (!Source) {
+    std::fprintf(stderr, "bench_diy: %s\n", Source.message().c_str());
+    std::exit(1);
+  }
+  std::vector<LitmusTest> Tests;
+  LitmusTest Test;
+  while ((*Source)(Test))
+    Tests.push_back(Test);
+  return makeJobs(Tests, allModels());
+}
+
+/// One 1-worker judging pass over pre-materialized jobs under \p Backend.
+double runBackendPass(const std::vector<SweepJob> &Jobs,
+                      JudgeBackend Backend) {
+  SweepOptions EngineOpts;
+  EngineOpts.Jobs = 1;
+  EngineOpts.Backend = Backend;
+  SweepEngine Engine(EngineOpts);
+  const auto Start = Clock::now();
+  SweepReport Report = Engine.run(Jobs);
+  const double Wall = elapsed(Start);
+  if (!Report.allOk()) {
+    std::fprintf(stderr, "bench_diy: backend pass failed\n");
+    std::exit(1);
+  }
+  return Wall;
+}
 
 Measurement measure(unsigned Jobs, unsigned Repeats) {
   const EnumerateOptions Opts = sliceOptions();
@@ -162,6 +239,34 @@ Measurement measure(unsigned Jobs, unsigned Repeats) {
     M.CandidatesConsistent =
         obs::counter("judge.candidates_consistent").value();
   }
+
+  // Backend comparison on the size-6 corpus: pre-materialized tests,
+  // judging wall time only, best of the same repeats.
+  const std::vector<SweepJob> Size6Jobs = materializeJobs(size6Options());
+  M.Size6Tests = static_cast<unsigned>(Size6Jobs.size());
+  M.Size6NaiveSeconds = 1e300;
+  M.Size6PrunedSeconds = 1e300;
+  for (unsigned R = 0; R < Repeats; ++R) {
+    M.Size6NaiveSeconds =
+        std::min(M.Size6NaiveSeconds,
+                 runBackendPass(Size6Jobs, JudgeBackend::Naive));
+    M.Size6PrunedSeconds =
+        std::min(M.Size6PrunedSeconds,
+                 runBackendPass(Size6Jobs, JudgeBackend::Pruned));
+  }
+
+  // Prune-rate measurement: one metrics-enabled pruned pass over the
+  // internal-com slice (the counters are deterministic, one pass is
+  // exact).
+  obs::resetMetrics();
+  obs::setMetricsEnabled(true);
+  runBackendPass(materializeJobs(internalComOptions()),
+                 JudgeBackend::Pruned);
+  obs::setMetricsEnabled(false);
+  M.IcCandidatesTotal = obs::counter("judge.candidates_total").value();
+  M.IcPrunedCandidates = obs::counter("judge.pruned.candidates").value();
+  M.IcPartialCuts = obs::counter("judge.pruned.partial").value();
+  M.IcSymmetryReused = obs::counter("judge.symmetry.reused").value();
   return M;
 }
 
@@ -188,19 +293,40 @@ JsonValue toJson(const Measurement &M, unsigned Jobs, unsigned Repeats) {
   Counters.set("tests_synthesized", M.TestsSynthesized);
   Counters.set("candidates_total", M.CandidatesTotal);
   Counters.set("candidates_consistent", M.CandidatesConsistent);
-  Counters.set("prune_rate",
+  // The value-consistency rate kept its historical slot under an honest
+  // name; prune_rate now reports actual partial-assignment pruning,
+  // measured on the internal-com slice where the cut can fire.
+  Counters.set("inconsistent_rate",
                M.CandidatesTotal
                    ? 1.0 - static_cast<double>(M.CandidatesConsistent) /
                                static_cast<double>(M.CandidatesTotal)
                    : 0.0);
   Root.set("counters", std::move(Counters));
+  JsonValue Size6 = JsonValue::object();
+  Size6.set("tests", M.Size6Tests);
+  Size6.set("naive_seconds_j1", M.Size6NaiveSeconds);
+  Size6.set("pruned_seconds_j1", M.Size6PrunedSeconds);
+  Size6.set("backend_speedup", M.Size6NaiveSeconds / M.Size6PrunedSeconds);
+  Root.set("size6", std::move(Size6));
+  JsonValue Ic = JsonValue::object();
+  Ic.set("candidates_total", M.IcCandidatesTotal);
+  Ic.set("pruned_candidates", M.IcPrunedCandidates);
+  Ic.set("pruned_partial_cuts", M.IcPartialCuts);
+  Ic.set("symmetry_reused", M.IcSymmetryReused);
+  Ic.set("prune_rate",
+         M.IcCandidatesTotal
+             ? static_cast<double>(M.IcPrunedCandidates) /
+                   static_cast<double>(M.IcCandidatesTotal)
+             : 0.0);
+  Root.set("internal_com", std::move(Ic));
   return Root;
 }
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--repeats N] [--out FILE]\n"
-               "          [--check FILE] [--tolerance F] [--obs-tolerance F]\n",
+               "          [--check FILE] [--tolerance F] [--obs-tolerance F]\n"
+               "          [--min-backend-speedup F]\n",
                Argv0);
   return 2;
 }
@@ -209,7 +335,7 @@ int usage(const char *Argv0) {
 
 int main(int argc, char **argv) {
   unsigned Jobs = 4, Repeats = 5;
-  double Tolerance = 0.25, ObsTolerance = 0.05;
+  double Tolerance = 0.25, ObsTolerance = 0.05, MinBackendSpeedup = 3.0;
   std::string OutPath, CheckPath;
 
   for (int I = 1; I < argc; ++I) {
@@ -247,6 +373,12 @@ int main(int argc, char **argv) {
       ObsTolerance = V ? std::strtod(V, &End) : 0;
       if (!V || !End || *End != '\0' || ObsTolerance < 0)
         return usage(argv[0]);
+    } else if (Arg == "--min-backend-speedup") {
+      const char *V = Value();
+      char *End = nullptr;
+      MinBackendSpeedup = V ? std::strtod(V, &End) : 0;
+      if (!V || !End || *End != '\0' || MinBackendSpeedup < 0)
+        return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
@@ -283,6 +415,22 @@ int main(int argc, char **argv) {
   const double GenCost =
       (M.EnumerateSeconds + M.SynthesizeSeconds) / M.SweepSecondsJ1;
   std::printf("normalized generation cost: %.4f\n", GenCost);
+
+  const double BackendSpeedup = M.Size6NaiveSeconds / M.Size6PrunedSeconds;
+  std::printf("\nsize-6 corpus (%u tests, 1 worker):\n", M.Size6Tests);
+  std::printf("%-38s %10.4fs\n", "  naive backend", M.Size6NaiveSeconds);
+  std::printf("%-38s %10.4fs  (%.2fx)\n", "  pruned backend",
+              M.Size6PrunedSeconds, BackendSpeedup);
+  const double PruneRate =
+      M.IcCandidatesTotal
+          ? static_cast<double>(M.IcPrunedCandidates) /
+                static_cast<double>(M.IcCandidatesTotal)
+          : 0.0;
+  std::printf("internal-com slice: %llu candidates, %llu pruned on "
+              "partial assignments (%.1f%% prune rate, %llu cuts), "
+              "%llu restituted by symmetry\n",
+              M.IcCandidatesTotal, M.IcPrunedCandidates, 100.0 * PruneRate,
+              M.IcPartialCuts, M.IcSymmetryReused);
   std::printf("deterministic: %s\n", M.Deterministic ? "yes" : "NO");
 
   if (!M.Deterministic) {
@@ -362,6 +510,30 @@ int main(int argc, char **argv) {
                    "FAIL: enabling metrics costs more than %.0f%% of the "
                    "sweep wall time\n",
                    ObsTolerance * 100);
+      return 1;
+    }
+    // Backend gate, measured in-run: the incremental pruned enumerator
+    // must beat the naive reference by --min-backend-speedup on the
+    // size-6 corpus.
+    std::printf("backend gate: pruned %.2fx over naive on size-6 "
+                "(required >= %.2f)\n",
+                BackendSpeedup, MinBackendSpeedup);
+    if (BackendSpeedup < MinBackendSpeedup) {
+      std::fprintf(stderr,
+                   "FAIL: pruned backend speedup %.2fx on the size-6 "
+                   "corpus is below the required %.2fx\n",
+                   BackendSpeedup, MinBackendSpeedup);
+      return 1;
+    }
+
+    // Prune-rate gate: the internal-com slice must actually exercise the
+    // partial-assignment cut; a zero rate means the pruning leg of the
+    // enumerator went dead.
+    std::printf("prune gate: internal-com prune rate %.4f (required > 0)\n",
+                PruneRate);
+    if (!(PruneRate > 0.0)) {
+      std::fprintf(stderr, "FAIL: internal-com slice reports a zero prune "
+                           "rate\n");
       return 1;
     }
     std::printf("perf gate passed\n");

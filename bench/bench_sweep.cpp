@@ -70,11 +70,15 @@ double runLegacy(const std::vector<LitmusTest> &Tests,
   return elapsed(Start);
 }
 
-/// One sweep pass at \p Jobs workers.
+/// One sweep pass at \p Jobs workers under \p Backend.
 double runSweep(const std::vector<SweepJob> &JobsIn, unsigned Jobs,
-                std::vector<bool> &Verdicts) {
+                std::vector<bool> &Verdicts,
+                JudgeBackend Backend = JudgeBackend::Pruned) {
   Verdicts.clear();
-  SweepEngine Engine(SweepOptions{Jobs});
+  SweepOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Backend = Backend;
+  SweepEngine Engine(Opts);
   const auto Start = Clock::now();
   SweepReport Report = Engine.run(JobsIn);
   const double Wall = elapsed(Start);
@@ -88,6 +92,10 @@ struct Measurement {
   double LegacySeconds = 0;
   double SweepSecondsJ1 = 0;
   double SweepSeconds = 0;
+  /// The 1-worker sweep forced onto the naive backend — the reference the
+  /// incremental enumerator's speedup is measured against
+  /// (docs/enumeration.md); gated at --min-backend-speedup in --check.
+  double NaiveSecondsJ1 = 0;
   /// The 1-worker sweep with metrics collection enabled — the "cheap
   /// enough to leave on" claim, gated at --obs-tolerance in --check.
   double SweepSecondsJ1Obs = 0;
@@ -98,6 +106,14 @@ struct Measurement {
   unsigned long long CandidatesConsistent = 0;
   unsigned long long MemoHits = 0;
   unsigned long long MemoMisses = 0;
+  /// Incremental-enumerator counters (judge.pruned.* / judge.symmetry.*):
+  /// the real prune rate is PrunedCandidates / CandidatesTotal — the
+  /// fraction of the candidate space whose rejection was proven on a
+  /// partial assignment and never materialized.
+  unsigned long long PartialCuts = 0;
+  unsigned long long PrunedCandidates = 0;
+  unsigned long long CandidatesJudged = 0;
+  unsigned long long SymmetryReused = 0;
 };
 
 Measurement measure(unsigned Jobs, unsigned Repeats) {
@@ -112,13 +128,17 @@ Measurement measure(unsigned Jobs, unsigned Repeats) {
   M.SweepSecondsJ1 = 1e300;
   M.SweepSeconds = 1e300;
   M.SweepSecondsJ1Obs = 1e300;
-  std::vector<bool> Legacy, Shared, SharedJ1, SharedObs;
+  M.NaiveSecondsJ1 = 1e300;
+  std::vector<bool> Legacy, Shared, SharedJ1, SharedNaive, SharedObs;
   for (unsigned R = 0; R < Repeats; ++R) {
     M.LegacySeconds =
         std::min(M.LegacySeconds, runLegacy(Tests, Models, Legacy));
     M.SweepSecondsJ1 =
         std::min(M.SweepSecondsJ1, runSweep(JobsIn, 1, SharedJ1));
     M.SweepSeconds = std::min(M.SweepSeconds, runSweep(JobsIn, Jobs, Shared));
+    M.NaiveSecondsJ1 = std::min(
+        M.NaiveSecondsJ1,
+        runSweep(JobsIn, 1, SharedNaive, JudgeBackend::Naive));
 
     // The same 1-worker pass with the metrics registry live: verdicts and
     // counters must not depend on observability being on.
@@ -132,8 +152,13 @@ Measurement measure(unsigned Jobs, unsigned Repeats) {
         obs::counter("judge.candidates_consistent").value();
     M.MemoHits = obs::counter("memo.model_hits").value();
     M.MemoMisses = obs::counter("memo.model_misses").value();
+    M.PartialCuts = obs::counter("judge.pruned.partial").value();
+    M.PrunedCandidates = obs::counter("judge.pruned.candidates").value();
+    M.CandidatesJudged = obs::counter("judge.candidates_judged").value();
+    M.SymmetryReused = obs::counter("judge.symmetry.reused").value();
 
-    if (Legacy != Shared || Legacy != SharedJ1 || Legacy != SharedObs)
+    if (Legacy != Shared || Legacy != SharedJ1 || Legacy != SharedNaive ||
+        Legacy != SharedObs)
       M.VerdictsMatch = false;
   }
   return M;
@@ -153,16 +178,32 @@ JsonValue toJson(const Measurement &M, unsigned Jobs, unsigned Repeats) {
   Root.set("speedup_total", M.LegacySeconds / M.SweepSeconds);
   Root.set("normalized_sweep_cost", M.SweepSeconds / M.LegacySeconds);
   Root.set("verdicts_match_legacy", M.VerdictsMatch);
+  Root.set("naive_seconds_j1", M.NaiveSecondsJ1);
+  Root.set("backend_speedup", M.NaiveSecondsJ1 / M.SweepSecondsJ1);
   Root.set("sweep_seconds_j1_obs", M.SweepSecondsJ1Obs);
   Root.set("obs_overhead", M.SweepSecondsJ1Obs / M.SweepSecondsJ1 - 1.0);
   JsonValue Counters = JsonValue::object();
   Counters.set("candidates_total", M.CandidatesTotal);
   Counters.set("candidates_consistent", M.CandidatesConsistent);
+  // The fraction of the raw candidate space dismissed on a partial
+  // assignment (judge.pruned.candidates) — zero would mean the cut never
+  // fired. The historical field computed 1 - consistent/total, which is
+  // the value-consistency rate, not pruning; that ratio keeps its own
+  // name below.
   Counters.set("prune_rate",
+               M.CandidatesTotal
+                   ? static_cast<double>(M.PrunedCandidates) /
+                         static_cast<double>(M.CandidatesTotal)
+                   : 0.0);
+  Counters.set("inconsistent_rate",
                M.CandidatesTotal
                    ? 1.0 - static_cast<double>(M.CandidatesConsistent) /
                                static_cast<double>(M.CandidatesTotal)
                    : 0.0);
+  Counters.set("pruned_partial_cuts", M.PartialCuts);
+  Counters.set("pruned_candidates", M.PrunedCandidates);
+  Counters.set("candidates_judged", M.CandidatesJudged);
+  Counters.set("symmetry_reused", M.SymmetryReused);
   Counters.set("memo_hits", M.MemoHits);
   Counters.set("memo_misses", M.MemoMisses);
   Root.set("counters", std::move(Counters));
@@ -173,7 +214,7 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--repeats N] [--out FILE]\n"
                "          [--check FILE] [--tolerance F] [--min-speedup F]\n"
-               "          [--obs-tolerance F]\n",
+               "          [--obs-tolerance F] [--min-backend-speedup F]\n",
                Argv0);
   return 2;
 }
@@ -183,6 +224,7 @@ int usage(const char *Argv0) {
 int main(int argc, char **argv) {
   unsigned Jobs = 4, Repeats = 10;
   double Tolerance = 0.25, MinSpeedup = 2.0, ObsTolerance = 0.05;
+  double MinBackendSpeedup = 1.0;
   std::string OutPath, CheckPath;
 
   for (int I = 1; I < argc; ++I) {
@@ -225,6 +267,11 @@ int main(int argc, char **argv) {
       if (!V)
         return usage(argv[0]);
       ObsTolerance = std::strtod(V, nullptr);
+    } else if (Arg == "--min-backend-speedup") {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0]);
+      MinBackendSpeedup = std::strtod(V, nullptr);
     } else {
       return usage(argv[0]);
     }
@@ -248,16 +295,22 @@ int main(int argc, char **argv) {
                 Jobs);
   std::printf("%-38s %10.4fs  (%.2fx)\n", Label, M.SweepSeconds,
               M.LegacySeconds / M.SweepSeconds);
+  std::printf("%-38s %10.4fs  (pruned is %.2fx)\n",
+              "sweep, naive backend, 1 worker", M.NaiveSecondsJ1,
+              M.NaiveSecondsJ1 / M.SweepSecondsJ1);
   std::printf("%-38s %10.4fs  (+%.1f%% vs metrics off)\n",
               "sweep, 1 worker, metrics enabled", M.SweepSecondsJ1Obs,
               (M.SweepSecondsJ1Obs / M.SweepSecondsJ1 - 1.0) * 100);
-  std::printf("candidates: %llu enumerated, %llu consistent "
-              "(%.1f%% pruned); memo: %llu hits / %llu misses\n",
-              M.CandidatesTotal, M.CandidatesConsistent,
+  std::printf("candidates: %llu enumerated, %llu consistent, "
+              "%llu pruned on partial assignments (%.1f%% prune rate, "
+              "%llu cuts), %llu judged, %llu restituted by symmetry; "
+              "memo: %llu hits / %llu misses\n",
+              M.CandidatesTotal, M.CandidatesConsistent, M.PrunedCandidates,
               M.CandidatesTotal
-                  ? 100.0 * (1.0 - static_cast<double>(M.CandidatesConsistent) /
-                                       static_cast<double>(M.CandidatesTotal))
+                  ? 100.0 * static_cast<double>(M.PrunedCandidates) /
+                        static_cast<double>(M.CandidatesTotal)
                   : 0.0,
+              M.PartialCuts, M.CandidatesJudged, M.SymmetryReused,
               M.MemoHits, M.MemoMisses);
   std::printf("verdicts identical to legacy: %s\n",
               M.VerdictsMatch ? "yes" : "NO");
@@ -318,6 +371,21 @@ int main(int argc, char **argv) {
     if (SpeedupTotal < MinSpeedup) {
       std::fprintf(stderr, "FAIL: sweep speedup %.2fx is below the required "
                    "%.2fx\n", SpeedupTotal, MinSpeedup);
+      return 1;
+    }
+
+    // Backend gate, measured in-run: the default pruned enumerator must
+    // not lose to the naive reference it replaced. The catalogue tests
+    // are small, so the bar is deliberately modest here; the 3x bar on a
+    // generated corpus lives in bench_diy.
+    const double BackendSpeedup = M.NaiveSecondsJ1 / M.SweepSecondsJ1;
+    std::printf("backend gate: pruned %.2fx over naive (required >= %.2f)\n",
+                BackendSpeedup, MinBackendSpeedup);
+    if (BackendSpeedup < MinBackendSpeedup) {
+      std::fprintf(stderr,
+                   "FAIL: pruned backend speedup %.2fx is below the "
+                   "required %.2fx\n",
+                   BackendSpeedup, MinBackendSpeedup);
       return 1;
     }
 

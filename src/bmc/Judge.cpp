@@ -1,0 +1,49 @@
+//===- Judge.cpp - The bmc judging backend of the sweep path --------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bmc/Judge.h"
+
+#include "herd/Enumerator.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace cats;
+
+MultiSimulationResult
+cats::judgeBmc(const CompiledTest &Compiled,
+               const std::vector<const Model *> &Models) {
+  return simulateAll(Compiled, Models, JudgeBackend::Bmc);
+}
+
+MultiSimulationResult
+cats::judgeBmc(const LitmusTest &Test,
+               const std::vector<const Model *> &Models) {
+  auto Compiled = CompiledTest::compile(Test);
+  assert(Compiled && "litmus test failed to compile");
+  return judgeBmc(*Compiled, Models);
+}
+
+VerifyResult cats::verifyAxiomaticBmc(const LitmusTest &Test,
+                                      const Model &M) {
+  auto Compiled = CompiledTest::compile(Test);
+  assert(Compiled && "litmus test failed to compile");
+  VerifyResult Out;
+  Out.TestName = Test.Name;
+  Out.Method = "axiomatic-bmc";
+  auto Start = std::chrono::steady_clock::now();
+  MultiModelChecker Checker(*Compiled, {&M});
+  EnumerationStats Stats =
+      enumerateIncremental(*Compiled, Checker, /*SkipKnownOutcomes=*/true);
+  Checker.setEnumerationStats(Stats);
+  MultiSimulationResult Result = Checker.take();
+  Out.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  Out.Reachable = Result.PerModel.front().ConditionReachable;
+  Out.Work = Stats.JudgedCandidates;
+  return Out;
+}

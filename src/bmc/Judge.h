@@ -1,0 +1,48 @@
+//===- Judge.h - The bmc judging backend of the sweep path ----*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wires the bounded-verification leg into the campaign sweep path as an
+/// opt-in judging backend behind the MultiModelChecker interface
+/// (cats_sweep --backend bmc, docs/enumeration.md). The backend runs the
+/// incremental pruned search and layers a bounded outcome memo on top: a
+/// candidate whose outcome has already been proven allowed under every
+/// model is not re-judged, mirroring how a bounded model checker stops
+/// exploring a behaviour once its reachability question is answered.
+///
+/// Verdicts, allowed-outcome sets and consistent-outcome sets are exact;
+/// CandidatesAllowed is a lower bound (the memo's whole point is to stop
+/// counting proofs of the same fact).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_BMC_JUDGE_H
+#define CATS_BMC_JUDGE_H
+
+#include "bmc/Verify.h"
+#include "herd/Simulator.h"
+
+namespace cats {
+
+/// Judges \p Compiled under \p Models with the bmc backend (equivalent to
+/// simulateAll(Compiled, Models, JudgeBackend::Bmc)).
+MultiSimulationResult judgeBmc(const CompiledTest &Compiled,
+                               const std::vector<const Model *> &Models);
+
+/// Convenience overload: compiles \p Test first; asserts on compile
+/// errors.
+MultiSimulationResult judgeBmc(const LitmusTest &Test,
+                               const std::vector<const Model *> &Models);
+
+/// Reachability of \p Test's final condition under \p M, answered by the
+/// bmc backend; Work counts judged candidates (after pruning, symmetry
+/// and the outcome memo), comparable with verifyAxiomatic's exhaustive
+/// candidate count.
+VerifyResult verifyAxiomaticBmc(const LitmusTest &Test, const Model &M);
+
+} // namespace cats
+
+#endif // CATS_BMC_JUDGE_H

@@ -1,0 +1,568 @@
+//===- Enumerator.cpp - Incremental pruned candidate search ---------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Search order (docs/enumeration.md): rf choices in the same odometer
+// order as forEachCandidate; under each rf, one coherence permutation per
+// multi-write location, committed location by location. The partial graph
+//
+//   po-loc\llh | rf | co(committed) | fr(forced)
+//
+// is re-checked for acyclicity after every commitment: a cycle there is a
+// cycle of po-loc | com in every completion, i.e. an SC PER LOCATION
+// violation that every model of the framework rejects (the llh weakening
+// is subtracted up front so the prune stays sound for RMO / ARM llh).
+//
+// The model-independent tallies never walk the co space at all: value
+// consistency and final register files depend only on rf (the data-flow
+// fixpoint never reads co), the per-rf candidate count is a closed form,
+// and the consistent-outcome set is the cross product of per-location
+// final-value sets (any program write is co-last in some permutation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "herd/Enumerator.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+
+using namespace cats;
+
+namespace {
+
+/// Coherence structure of one location.
+struct CoLocation {
+  Location Loc = -1;
+  EventId InitWrite = 0;
+  /// Program writes in ascending event order (the base permutation).
+  std::vector<EventId> ProgramWrites;
+};
+
+/// One element of the thread-symmetry group: a permutation of identical
+/// threads, expanded to events (thread t's k-th event maps to thread
+/// sigma(t)'s k-th event; initial writes are fixed).
+struct SymElem {
+  std::vector<ThreadId> ThreadMap;
+  std::vector<EventId> EventMap;
+  /// ReadIndexMap[i]: position in reads() of EventMap[reads()[i]].
+  std::vector<size_t> ReadIndexMap;
+  bool Identity = true;
+};
+
+/// The full group (product of symmetric groups over each class of
+/// identical threads), expanded up to MaxGroupSize elements; larger
+/// groups disable the reduction rather than truncate it.
+struct SymmetryGroup {
+  std::vector<SymElem> Elems;
+  bool active() const { return Elems.size() > 1; }
+};
+
+constexpr unsigned long long MaxGroupSize = 64;
+
+SymmetryGroup buildGroup(const CompiledTest &Compiled) {
+  SymmetryGroup G;
+  const LitmusTest &Test = Compiled.test();
+  const Execution &Skel = Compiled.skeleton();
+  const unsigned NumThreads = Test.numThreads();
+
+  // Classes of literally identical thread code.
+  std::vector<std::vector<ThreadId>> Classes;
+  for (ThreadId T = 0; T < static_cast<ThreadId>(NumThreads); ++T) {
+    bool Placed = false;
+    for (std::vector<ThreadId> &C : Classes)
+      if (Test.Threads[C.front()] == Test.Threads[T]) {
+        C.push_back(T);
+        Placed = true;
+        break;
+      }
+    if (!Placed)
+      Classes.push_back({T});
+  }
+
+  unsigned long long Size = 1;
+  for (const std::vector<ThreadId> &C : Classes)
+    for (size_t I = 2; I <= C.size() && Size <= MaxGroupSize; ++I)
+      Size *= I;
+  if (Size <= 1 || Size > MaxGroupSize)
+    return G;
+
+  // All permutations per class, then their cross product.
+  std::vector<std::vector<std::vector<ThreadId>>> ClassPerms;
+  for (const std::vector<ThreadId> &C : Classes) {
+    std::vector<ThreadId> P = C;
+    std::vector<std::vector<ThreadId>> Perms;
+    do
+      Perms.push_back(P);
+    while (std::next_permutation(P.begin(), P.end()));
+    ClassPerms.push_back(std::move(Perms));
+  }
+
+  std::vector<std::vector<EventId>> ThreadEvents(NumThreads);
+  for (ThreadId T = 0; T < static_cast<ThreadId>(NumThreads); ++T)
+    ThreadEvents[T] = Skel.threadEvents(T);
+  const auto &Reads = Compiled.reads();
+  std::vector<size_t> PosOfRead(Skel.numEvents(), 0);
+  for (size_t I = 0; I < Reads.size(); ++I)
+    PosOfRead[Reads[I]] = I;
+
+  std::vector<size_t> Pick(Classes.size(), 0);
+  while (true) {
+    SymElem S;
+    S.ThreadMap.resize(NumThreads);
+    for (size_t C = 0; C < Classes.size(); ++C)
+      for (size_t K = 0; K < Classes[C].size(); ++K)
+        S.ThreadMap[Classes[C][K]] = ClassPerms[C][Pick[C]][K];
+    S.Identity = true;
+    for (ThreadId T = 0; T < static_cast<ThreadId>(NumThreads); ++T)
+      if (S.ThreadMap[T] != T)
+        S.Identity = false;
+    S.EventMap.resize(Skel.numEvents());
+    for (EventId E = 0; E < Skel.numEvents(); ++E)
+      S.EventMap[E] = E;
+    for (ThreadId T = 0; T < static_cast<ThreadId>(NumThreads); ++T)
+      for (size_t K = 0; K < ThreadEvents[T].size(); ++K)
+        S.EventMap[ThreadEvents[T][K]] = ThreadEvents[S.ThreadMap[T]][K];
+    S.ReadIndexMap.resize(Reads.size());
+    for (size_t I = 0; I < Reads.size(); ++I)
+      S.ReadIndexMap[I] = PosOfRead[S.EventMap[Reads[I]]];
+    G.Elems.push_back(std::move(S));
+
+    size_t C = 0;
+    for (; C < Classes.size(); ++C) {
+      if (++Pick[C] < ClassPerms[C].size())
+        break;
+      Pick[C] = 0;
+    }
+    if (C == Classes.size())
+      break;
+  }
+  // The all-sorted starting permutations put the identity first.
+  return G;
+}
+
+} // namespace
+
+EnumerationStats cats::enumerateIncremental(const CompiledTest &Compiled,
+                                            MultiModelChecker &Checker,
+                                            bool SkipKnownOutcomes) {
+  EnumerationStats Stats;
+  const Execution &Skel = Compiled.skeleton();
+  const auto &Reads = Compiled.reads();
+  const auto &CandWrites = Compiled.candidateWrites();
+  const unsigned N = Skel.numEvents();
+
+  // Per-location write structure, mirroring allCoherenceOrders().
+  std::vector<CoLocation> AllLocs;
+  std::vector<size_t> BranchIdx; // locations with >= 2 program writes
+  unsigned long long CoCount = 1;
+  for (Location Loc = 0;
+       Loc < static_cast<Location>(Skel.LocationNames.size()); ++Loc) {
+    CoLocation L;
+    L.Loc = Loc;
+    for (EventId W : Skel.writesTo(Loc)) {
+      if (Skel.event(W).IsInit)
+        L.InitWrite = W;
+      else
+        L.ProgramWrites.push_back(W);
+    }
+    std::sort(L.ProgramWrites.begin(), L.ProgramWrites.end());
+    for (size_t I = 2; I <= L.ProgramWrites.size(); ++I)
+      CoCount *= I;
+    if (L.ProgramWrites.size() >= 2)
+      BranchIdx.push_back(AllLocs.size());
+    AllLocs.push_back(std::move(L));
+  }
+
+  // po-loc weakened by the load-load-hazard rule, the strongest same-
+  // location order every model agrees on. Without any such pair com alone
+  // is acyclic (all its edges stay within one location, where co is a
+  // total order), so the graph bookkeeping is skipped entirely.
+  Relation PoLocLlh(N);
+  for (auto [From, To] : Skel.Po.pairs())
+    if (Skel.event(From).Loc == Skel.event(To).Loc &&
+        !(Skel.event(From).isRead() && Skel.event(To).isRead()))
+      PoLocLlh.set(From, To);
+  const bool CanPrune = !PoLocLlh.empty();
+
+  // Initial writes co-precede every program write of their location in
+  // every coherence order.
+  Relation InitCo(N);
+  for (const CoLocation &L : AllLocs)
+    for (EventId W : L.ProgramWrites)
+      InitCo.set(L.InitWrite, W);
+
+  // One scratch execution, mutated in place and re-judged per canonical
+  // leaf; the memo tiers keep whatever stays valid across the mutation.
+  Execution Scratch = Skel;
+  Scratch.enableDerivedCache();
+
+  SymmetryGroup G = buildGroup(Compiled);
+  if (Checker.numModels() > 64)
+    SkipKnownOutcomes = false; // the outcome memo's mask is 64 bits wide
+  const unsigned long long FullMask =
+      Checker.numModels() >= 64 ? ~0ull
+                                : ((1ull << Checker.numModels()) - 1);
+  std::map<std::string, unsigned long long> OutcomeMask;
+  unsigned long long Survivors = 0;
+
+  std::vector<std::vector<EventId>> Perm(BranchIdx.size());
+  std::vector<std::vector<std::pair<EventId, EventId>>> ReadsOfBranchLoc(
+      BranchIdx.size());
+  // Reused across leaves: the orbit-image outcomes of the current leaf
+  // (storage plus the pointer view handed to the checker).
+  std::vector<Outcome> ImageStorage;
+  std::vector<const Outcome *> ImageOutcomes;
+  // Reused across rf choices: per-location final-value sets of the
+  // closed-form outcome pass.
+  std::vector<std::vector<Value>> ValueSets(AllLocs.size());
+  std::vector<size_t> VPick(AllLocs.size());
+
+  auto visitRf = [&](const std::vector<EventId> &RfVec) {
+    Checker.accountTotal(CoCount);
+    CompiledTest::RfConcretization C = Compiled.concretizeRf(RfVec);
+    if (!C.Consistent)
+      return;
+    Checker.accountConsistent(CoCount);
+
+    // Consistent outcomes, closed form: registers are rf-determined and
+    // any program write is co-last in some permutation, so the memory
+    // side is the cross product of per-location final-value sets.
+    //
+    // When the cross product is a single outcome (every location's final
+    // value is forced — the norm on critical-cycle corpora), every leaf
+    // under this rf shares it, and the leaves below reuse the object
+    // instead of rebuilding outcome and key per coherence permutation.
+    std::optional<Outcome> SoleOutcome;
+    {
+      for (size_t LI = 0; LI < AllLocs.size(); ++LI) {
+        const CoLocation &L = AllLocs[LI];
+        std::vector<Value> &Vals = ValueSets[LI];
+        Vals.clear();
+        if (L.ProgramWrites.empty()) {
+          Vals.push_back(C.EventVals[L.InitWrite]);
+        } else {
+          for (EventId W : L.ProgramWrites)
+            Vals.push_back(C.EventVals[W]);
+          std::sort(Vals.begin(), Vals.end());
+          Vals.erase(std::unique(Vals.begin(), Vals.end()), Vals.end());
+        }
+      }
+      SoleOutcome.reset();
+      size_t OutcomeCount = 0;
+      VPick.assign(AllLocs.size(), 0);
+      while (true) {
+        Outcome O;
+        O.Regs = C.FinalRegs;
+        for (size_t L = 0; L < AllLocs.size(); ++L)
+          O.Memory[Skel.LocationNames[AllLocs[L].Loc]] =
+              ValueSets[L][VPick[L]];
+        O.enableKeyCache();
+        Checker.accountConsistentOutcome(O);
+        if (++OutcomeCount == 1)
+          SoleOutcome = std::move(O);
+        else
+          SoleOutcome.reset();
+        size_t L = 0;
+        for (; L < AllLocs.size(); ++L) {
+          if (++VPick[L] < ValueSets[L].size())
+            break;
+          VPick[L] = 0;
+        }
+        if (L == AllLocs.size())
+          break;
+      }
+    }
+
+    // Symmetry: only the lexicographically least rf image of each orbit
+    // is searched further; its judged leaves replay over the whole orbit.
+    std::vector<const SymElem *> Stab;
+    if (G.active()) {
+      std::vector<EventId> Img(RfVec.size());
+      for (size_t E = 1; E < G.Elems.size(); ++E) {
+        const SymElem &S = G.Elems[E];
+        for (size_t I = 0; I < RfVec.size(); ++I)
+          Img[S.ReadIndexMap[I]] = S.EventMap[RfVec[I]];
+        if (Img < RfVec)
+          return; // not canonical: a smaller image will be searched
+        if (Img == RfVec)
+          Stab.push_back(&S);
+      }
+    }
+
+    Scratch.Rf = Relation(N);
+    for (size_t I = 0; I < Reads.size(); ++I)
+      Scratch.Rf.set(RfVec[I], Reads[I]);
+    for (EventId E = 0; E < N; ++E)
+      Scratch.event(E).Val = C.EventVals[E];
+    Scratch.invalidateDerived(MemoTier::PerRf);
+
+    // Full SC graph at the rf level: po | rf plus the co/fr edges shared
+    // by every completion (init co-first; a read of the initial write
+    // fr-precedes every program write of its location). Each leaf below
+    // extends it with the branch locations' co and fr edges, which makes
+    // it exactly po | com — so the Lemma 4.1 SC verdict (acyclic(po |
+    // com)) falls out of one DFS on a graph the enumerator already
+    // maintains, with no com/fr rebuild per leaf.
+    Relation ScBase = Skel.Po | Scratch.Rf | InitCo;
+    for (size_t I = 0; I < Reads.size(); ++I) {
+      if (!Skel.event(RfVec[I]).IsInit)
+        continue;
+      const CoLocation &L = AllLocs[Skel.event(Reads[I]).Loc];
+      for (EventId W : L.ProgramWrites)
+        ScBase.set(Reads[I], W);
+    }
+    // Cyclic already at the rf level: every leaf is SC-forbidden (their
+    // graphs are supergraphs), no per-leaf DFS needed either way.
+    const bool ScBaseAcyclic = ScBase.isAcyclic();
+
+    // Partial prune graph at the rf level: as above but with po weakened
+    // to po-loc-llh, the strongest same-location order every model
+    // agrees on.
+    Relation Base(N);
+    if (CanPrune) {
+      Base = PoLocLlh | Scratch.Rf | InitCo;
+      for (size_t I = 0; I < Reads.size(); ++I) {
+        if (!Skel.event(RfVec[I]).IsInit)
+          continue;
+        const CoLocation &L = AllLocs[Skel.event(Reads[I]).Loc];
+        for (EventId W : L.ProgramWrites)
+          Base.set(Reads[I], W);
+      }
+      // Base's edges are a subset of ScBase's (po-loc-llh is po), so its
+      // own DFS only runs when ScBase's cycle leaves the question open.
+      if (!ScBaseAcyclic && !Base.isAcyclic()) {
+        ++Stats.PartialCuts;
+        return; // every completion violates SC PER LOCATION
+      }
+    }
+
+    // Reads taking their value from a program write of a multi-write
+    // location: their fr edges depend on where that write lands in co.
+    for (auto &Rs : ReadsOfBranchLoc)
+      Rs.clear();
+    for (size_t I = 0; I < Reads.size(); ++I) {
+      const Event &W = Skel.event(RfVec[I]);
+      if (W.IsInit)
+        continue;
+      for (size_t D = 0; D < BranchIdx.size(); ++D)
+        if (AllLocs[BranchIdx[D]].Loc == W.Loc)
+          ReadsOfBranchLoc[D].emplace_back(Reads[I], RfVec[I]);
+    }
+
+    // Outcome template for this rf; multi-write entries are overwritten
+    // per leaf with the co-last value. Unused (and skipped) when the rf
+    // has a sole outcome.
+    std::map<std::string, Value> MemTemplate;
+    if (!SoleOutcome)
+      for (const CoLocation &L : AllLocs)
+        MemTemplate[Skel.LocationNames[L.Loc]] =
+            C.EventVals[L.ProgramWrites.empty() ? L.InitWrite
+                                                : L.ProgramWrites.front()];
+
+    auto leaf = [&]() {
+      // Canonical leaf within the rf stabilizer: the lexicographically
+      // least concatenated coherence sequence of its orbit slice.
+      for (const SymElem *S : Stab) {
+        int Cmp = 0;
+        for (size_t D = 0; D < Perm.size() && Cmp == 0; ++D)
+          for (size_t K = 0; K < Perm[D].size(); ++K) {
+            EventId A = S->EventMap[Perm[D][K]], B = Perm[D][K];
+            if (A != B) {
+              Cmp = A < B ? -1 : 1;
+              break;
+            }
+          }
+        if (Cmp < 0)
+          return; // not canonical
+      }
+
+      // The leaf's outcome: the rf-level sole outcome when the final
+      // memory state is forced, otherwise built from the template with
+      // each multi-write location's co-last value.
+      Outcome Built;
+      if (!SoleOutcome) {
+        Built.Regs = C.FinalRegs;
+        Built.Memory = MemTemplate;
+        for (size_t D = 0; D < Perm.size(); ++D)
+          Built.Memory[Skel.LocationNames[AllLocs[BranchIdx[D]].Loc]] =
+              C.EventVals[Perm[D].back()];
+        Built.enableKeyCache();
+      }
+      const Outcome &O = SoleOutcome ? *SoleOutcome : Built;
+
+      // Distinct orbit images of this assignment. Two group elements
+      // yielding the same serialized (rf, co) denote the same candidate
+      // (they differ by an assignment stabilizer), so images deduplicate
+      // by that key; each distinct image is exactly one naive candidate.
+      std::vector<const SymElem *> ImageElems;
+      if (G.active()) {
+        std::vector<std::vector<EventId>> SeenKeys;
+        std::vector<EventId> Key;
+        for (const SymElem &S : G.Elems) {
+          Key.assign(RfVec.size(), 0);
+          for (size_t I = 0; I < RfVec.size(); ++I)
+            Key[S.ReadIndexMap[I]] = S.EventMap[RfVec[I]];
+          for (size_t D = 0; D < Perm.size(); ++D)
+            for (EventId W : Perm[D])
+              Key.push_back(S.EventMap[W]);
+          if (std::find(SeenKeys.begin(), SeenKeys.end(), Key) ==
+              SeenKeys.end()) {
+            SeenKeys.push_back(Key);
+            ImageElems.push_back(&S);
+          }
+        }
+      } else {
+        ImageElems.push_back(nullptr); // identity only
+      }
+
+      // Image outcomes: thread sigma(t) of the image runs exactly thread
+      // t's data-flow, so registers permute and memory is unchanged. The
+      // identity image aliases O instead of copying it — on trivial
+      // orbits (the common case) no outcome is materialized at all.
+      ImageStorage.clear();
+      ImageStorage.reserve(ImageElems.size());
+      ImageOutcomes.clear();
+      ImageOutcomes.reserve(ImageElems.size());
+      for (const SymElem *S : ImageElems) {
+        if (!S || S->Identity) {
+          ImageOutcomes.push_back(&O);
+          continue;
+        }
+        Outcome IO;
+        IO.Regs.resize(O.Regs.size());
+        for (size_t T = 0; T < O.Regs.size(); ++T)
+          IO.Regs[S->ThreadMap[T]] = O.Regs[T];
+        IO.Memory = O.Memory;
+        IO.enableKeyCache();
+        ImageStorage.push_back(std::move(IO));
+        ImageOutcomes.push_back(&ImageStorage.back());
+      }
+
+      Survivors += ImageOutcomes.size();
+
+      if (SkipKnownOutcomes) {
+        bool AllKnown = true;
+        for (const Outcome *IO : ImageOutcomes) {
+          auto It = OutcomeMask.find(IO->key());
+          if (It == OutcomeMask.end() || It->second != FullMask) {
+            AllKnown = false;
+            break;
+          }
+        }
+        if (AllKnown) {
+          Stats.BmcOutcomeHits += ImageOutcomes.size();
+          return; // outcome already proven allowed under every model
+        }
+      }
+
+      Relation Co = InitCo;
+      for (size_t D = 0; D < Perm.size(); ++D)
+        for (size_t I = 0; I < Perm[D].size(); ++I)
+          for (size_t J = I + 1; J < Perm[D].size(); ++J)
+            Co.set(Perm[D][I], Perm[D][J]);
+      Scratch.Co = std::move(Co);
+      Scratch.invalidateDerived(MemoTier::PerCo);
+
+      // The leaf's SC verdict from the incremental graph: ScBase plus
+      // the branch locations' co edges and the fr edges of reads whose
+      // source write is no longer co-last. Leaves without branch
+      // locations are exactly ScBase, already decided.
+      bool ScAllowed = ScBaseAcyclic;
+      if (ScAllowed && !BranchIdx.empty()) {
+        Relation ScG = ScBase;
+        for (size_t D = 0; D < Perm.size(); ++D) {
+          for (size_t I = 0; I < Perm[D].size(); ++I)
+            for (size_t J = I + 1; J < Perm[D].size(); ++J)
+              ScG.set(Perm[D][I], Perm[D][J]);
+          for (auto [R, W] : ReadsOfBranchLoc[D]) {
+            size_t Pos = static_cast<size_t>(
+                std::find(Perm[D].begin(), Perm[D].end(), W) -
+                Perm[D].begin());
+            for (size_t J = Pos + 1; J < Perm[D].size(); ++J)
+              ScG.set(R, Perm[D][J]);
+          }
+        }
+        ScAllowed = ScG.isAcyclic();
+      }
+
+      const std::vector<Verdict> &Vs = Checker.judge(Scratch, ScAllowed);
+      ++Stats.JudgedCandidates;
+      Stats.SymmetryReused += ImageOutcomes.size() - 1;
+
+      unsigned long long Mask = 0;
+      for (size_t M = 0; M < Vs.size() && M < 64; ++M)
+        if (Vs[M].Allowed)
+          Mask |= 1ull << M;
+      for (const Outcome *IO : ImageOutcomes) {
+        Checker.accountImage(Vs, *IO);
+        if (SkipKnownOutcomes)
+          OutcomeMask[IO->key()] |= Mask;
+      }
+    };
+
+    // Commit one coherence permutation per multi-write location, pruning
+    // the subtree as soon as the partial graph acquires a cycle.
+    std::function<void(size_t, const Relation &)> walk =
+        [&](size_t D, const Relation &Graph) {
+          if (D == BranchIdx.size()) {
+            leaf();
+            return;
+          }
+          const CoLocation &L = AllLocs[BranchIdx[D]];
+          std::vector<EventId> P = L.ProgramWrites;
+          do {
+            if (!CanPrune) {
+              Perm[D] = P;
+              walk(D + 1, Graph);
+              continue;
+            }
+            Relation Next = Graph;
+            for (size_t I = 0; I < P.size(); ++I)
+              for (size_t J = I + 1; J < P.size(); ++J)
+                Next.set(P[I], P[J]);
+            for (auto [R, W] : ReadsOfBranchLoc[D]) {
+              size_t WI = 0;
+              while (P[WI] != W)
+                ++WI;
+              for (size_t J = WI + 1; J < P.size(); ++J)
+                Next.set(R, P[J]);
+            }
+            if (!Next.isAcyclic()) {
+              ++Stats.PartialCuts;
+              continue; // the whole subtree is SC-PER-LOCATION dead
+            }
+            Perm[D] = P;
+            walk(D + 1, Next);
+          } while (std::next_permutation(P.begin(), P.end()));
+        };
+    walk(0, Base);
+  };
+
+  // rf odometer, the same order as forEachCandidate.
+  std::vector<size_t> Pick(Reads.size(), 0);
+  std::vector<EventId> RfVec(Reads.size());
+  while (true) {
+    for (size_t I = 0; I < Reads.size(); ++I)
+      RfVec[I] = CandWrites[I][Pick[I]];
+    visitRf(RfVec);
+    size_t I = 0;
+    for (; I < Reads.size(); ++I) {
+      if (++Pick[I] < CandWrites[I].size())
+        break;
+      Pick[I] = 0;
+    }
+    if (I == Reads.size())
+      break;
+  }
+
+  // Everything consistent but never surviving to a judged orbit was cut
+  // on a po-loc | com cycle: rejected by SC PER LOCATION under every
+  // model, with no outcome or allowance to account.
+  Stats.PrunedCandidates = Checker.consistentCount() - Survivors;
+  Checker.accountPrunedMass(Stats.PrunedCandidates);
+  return Stats;
+}

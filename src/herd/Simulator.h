@@ -23,6 +23,8 @@
 #include <array>
 #include <functional>
 #include <set>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace cats {
@@ -40,6 +42,8 @@ struct SimulationResult {
   /// Distinct outcomes of allowed candidates.
   std::set<Outcome> AllowedOutcomes;
   /// Distinct outcomes over all consistent candidates (any model).
+  /// Populated by the single-model simulate(); in a multi-model sweep the
+  /// set is shared and lives on MultiSimulationResult instead.
   std::set<Outcome> ConsistentOutcomes;
   /// True if some allowed candidate satisfies the test's final condition.
   bool ConditionReachable = false;
@@ -62,9 +66,11 @@ struct MultiSimulationResult {
   unsigned long long CandidatesConsistent = 0;
   /// Distinct outcomes over all consistent candidates; shared.
   std::set<Outcome> ConsistentOutcomes;
-  /// One entry per requested model, in request order. The shared fields
-  /// above are mirrored into each entry so every element is a complete
-  /// SimulationResult, interchangeable with the single-model simulate().
+  /// One entry per requested model, in request order. The shared counts
+  /// above are mirrored into each entry; the shared ConsistentOutcomes set
+  /// is not (copying it per model dominates take() on wide sweeps) except
+  /// when exactly one model was requested, so simulate()'s detached return
+  /// value stays a complete SimulationResult.
   std::vector<SimulationResult> PerModel;
 
   /// The entry for model \p Name; nullptr when the model was not swept.
@@ -75,6 +81,51 @@ struct MultiSimulationResult {
 /// Return false from the callback to stop early.
 void forEachCandidate(const CompiledTest &Compiled,
                       const std::function<bool(const Candidate &)> &Fn);
+
+/// Which engine walks the candidate space behind simulateAll
+/// (docs/enumeration.md). All three produce identical verdicts and outcome
+/// sets; the differential harness (tests/differential.cpp) pins them to
+/// each other over the litmus catalogue and generated diy corpora.
+enum class JudgeBackend : uint8_t {
+  /// Materialize every full candidate and judge it afterwards — the
+  /// reference semantics the other backends are checked against.
+  Naive,
+  /// Incremental backtracking search (src/herd/Enumerator.cpp): commit
+  /// rf then per-location coherence choices, prune a partial assignment
+  /// as soon as po-loc | com is cyclic, and enumerate only canonical
+  /// representatives of the thread-symmetry group with multiplicity
+  /// accounting. Byte-identical results to Naive; the default.
+  Pruned,
+  /// Pruned search plus the bounded outcome memo of src/bmc: candidates
+  /// whose outcome is already proven allowed under every model are not
+  /// re-judged. Verdicts and outcome sets stay exact; CandidatesAllowed
+  /// becomes a lower bound. Opt-in (--backend bmc).
+  Bmc,
+};
+
+/// Display/CLI name: "naive", "pruned", "bmc".
+const char *judgeBackendName(JudgeBackend B);
+
+/// Parses a CLI backend name; returns false on unknown input.
+bool parseJudgeBackend(const std::string &Name, JudgeBackend &Out);
+
+/// Counters produced by one incremental-enumeration pass; flushed to the
+/// judge.pruned.* / judge.symmetry.* / judge.bmc.* metrics by
+/// MultiModelChecker::take (docs/observability.md).
+struct EnumerationStats {
+  /// Partial rf/co assignments abandoned mid-search on a po-loc | com
+  /// cycle (each cut removes a whole subtree of candidates).
+  unsigned long long PartialCuts = 0;
+  /// Consistent candidates never materialized because every completion
+  /// was provably rejected by SC PER LOCATION (the pruned mass).
+  unsigned long long PrunedCandidates = 0;
+  /// Canonical leaves actually judged by the models.
+  unsigned long long JudgedCandidates = 0;
+  /// Symmetric orbit images accounted without re-judging.
+  unsigned long long SymmetryReused = 0;
+  /// Leaves skipped by the bmc outcome memo (Bmc backend only).
+  unsigned long long BmcOutcomeHits = 0;
+};
 
 /// Accumulates per-model verdicts over a stream of candidates, computing
 /// the model-independent work (consistency counts, outcome keys, final
@@ -89,8 +140,77 @@ public:
   MultiModelChecker(const CompiledTest &Compiled,
                     std::vector<const Model *> Models);
 
-  /// Accounts one candidate under every model.
+  /// Accounts one candidate under every model (the naive path).
   void feed(const Candidate &Cand);
+
+  //===--------------------------------------------------------------------===//
+  // Incremental-backend interface (src/herd/Enumerator.cpp)
+  //
+  // The pruned search never materializes full Candidates: it accounts the
+  // model-independent tallies in bulk (closed forms per rf choice), judges
+  // one scratch execution per canonical leaf, and replays the verdict over
+  // the leaf's symmetry orbit. A checker instance is driven either by
+  // feed() or by these calls, never both.
+  //===--------------------------------------------------------------------===//
+
+  /// Adds \p N raw candidates to the shared total.
+  void accountTotal(unsigned long long N) { Result.CandidatesTotal += N; }
+
+  /// Adds \p N value-consistent candidates to the shared count.
+  void accountConsistent(unsigned long long N) {
+    Result.CandidatesConsistent += N;
+  }
+
+  /// Records one model-independent consistent outcome. First sighting of
+  /// a key pays the set insert and the final-condition evaluation; repeats
+  /// are a hash lookup (the note then also feeds accountImage).
+  void accountConsistentOutcome(const Outcome &O);
+
+  unsigned long long consistentCount() const {
+    return Result.CandidatesConsistent;
+  }
+
+  size_t numModels() const { return Models.size(); }
+
+  /// Checks \p Exe against every model; the returned buffer is owned by
+  /// the checker and reused across calls. No accounting happens here —
+  /// pair with accountImage per orbit image.
+  ///
+  /// The checks exploit the registry's model-strength forest
+  /// (strongerModel): models are visited stronger-first, and a model whose
+  /// designated ancestor in the set already allowed \p Exe is marked
+  /// allowed without running its axioms. The shortcut is disabled while
+  /// metrics are on so the per-axiom judge.kill.* tallies stay exact; the
+  /// differential harness proves the two paths agree.
+  const std::vector<Verdict> &judge(const Execution &Exe);
+
+  /// As above, with the enumerator's incrementally-maintained SC verdict:
+  /// \p ScAllowed must equal acyclic(po | com) on \p Exe — the Lemma 4.1
+  /// SC reference, which the enumerator reads off its own partial graph
+  /// instead of rebuilding com per leaf. The boolean-only path then
+  /// answers SC (and, through the implication shortcut, every model SC
+  /// dominates) without touching the execution's derived relations. The
+  /// hint is trusted, so the differential harness pins this path to the
+  /// un-hinted one over the catalogue and the diy corpora.
+  const std::vector<Verdict> &judge(const Execution &Exe, bool ScAllowed);
+
+  /// Accounts one candidate (an orbit image of a judged leaf) with the
+  /// verdicts of its canonical representative and its own outcome.
+  void accountImage(const std::vector<Verdict> &Verdicts, const Outcome &O);
+
+  /// Accounts \p N consistent candidates whose every coherence completion
+  /// was pruned on a po-loc | com cycle: all of them are rejected by SC
+  /// PER LOCATION under every model, so the per-axiom kill tallies credit
+  /// that axiom (the naive path may additionally blame other axioms for
+  /// the same candidates, hence the documented >= semantics of
+  /// judge.kill.*).
+  void accountPrunedMass(unsigned long long N);
+
+  /// Hands the enumerator's counters over for the metrics flush in take().
+  void setEnumerationStats(const EnumerationStats &S) {
+    Stats = S;
+    HaveStats = true;
+  }
 
   /// Finalizes and returns the result; the checker is spent afterwards.
   MultiSimulationResult take();
@@ -105,17 +225,64 @@ private:
   /// metrics were enabled at construction.
   bool Metrics = false;
   std::vector<std::array<unsigned long long, 4>> AxiomKills;
+  /// Reused verdict buffer for judge().
+  std::vector<Verdict> JudgeBuf;
+  /// Shared body of the judge() overloads; \p ScHint is null when no
+  /// precomputed SC verdict is available.
+  const std::vector<Verdict> &judgeImpl(const Execution &Exe,
+                                        const bool *ScHint);
+  /// Index (into Models) of each model's designated stronger ancestor
+  /// within this set, or -1; drives the judge() implication shortcut.
+  std::vector<int> StrongerIdx;
+  /// Model indices in stronger-before-weaker order, so an ancestor's
+  /// verdict is always final before its descendants consult it.
+  std::vector<size_t> EvalOrder;
+  /// Which models the boolean-only judge() path can answer through a
+  /// Lemma 4.1 reference formulation instead of the four-axiom check.
+  enum class RefFormulation : uint8_t { None, Sc, Tso };
+  std::vector<RefFormulation> RefPath;
+  /// Incremental-path memo per distinct outcome key: whether the outcome
+  /// satisfies the final condition, and which models (bit I = Models[I],
+  /// capped at 64) allowed some candidate with this outcome. accountImage
+  /// only bumps counters and ORs the mask; take() reconstructs each
+  /// model's AllowedOutcomes set and ConditionReachable flag from the
+  /// notes in one ordered pass, so no per-leaf ordered-set inserts happen
+  /// at all. feed() leaves the masks empty: the naive path stays the
+  /// plain reference loop and take()'s reconstruction is then a no-op.
+  struct OutcomeNote {
+    bool Satisfies = false;
+    /// Whether the outcome itself has been inserted into the shared
+    /// ConsistentOutcomes set. accountImage creates notes ahead of the
+    /// closed-form pass, so note existence alone does not imply set
+    /// membership.
+    bool InConsistentSet = false;
+    unsigned long long AllowedMask = 0;
+  };
+  std::unordered_map<std::string, OutcomeNote> OutcomeNotes;
+  EnumerationStats Stats;
+  bool HaveStats = false;
 };
 
 /// Runs one shared candidate enumeration of \p Compiled and checks every
-/// model in \p Models against each candidate.
+/// model in \p Models against each candidate, using the default backend
+/// (Pruned — byte-identical to Naive, just faster).
 MultiSimulationResult simulateAll(const CompiledTest &Compiled,
                                   const std::vector<const Model *> &Models);
+
+/// As above with an explicit judging backend.
+MultiSimulationResult simulateAll(const CompiledTest &Compiled,
+                                  const std::vector<const Model *> &Models,
+                                  JudgeBackend Backend);
 
 /// Convenience overload: compiles \p Test first. Asserts on compile errors
 /// (use CompiledTest::compile directly for fallible input).
 MultiSimulationResult simulateAll(const LitmusTest &Test,
                                   const std::vector<const Model *> &Models);
+
+/// As above with an explicit judging backend.
+MultiSimulationResult simulateAll(const LitmusTest &Test,
+                                  const std::vector<const Model *> &Models,
+                                  JudgeBackend Backend);
 
 /// Runs the full simulation of \p Compiled under \p M (the one-model case
 /// of simulateAll).

@@ -271,24 +271,26 @@ unsigned long long CompiledTest::candidateCount() const {
   return Count;
 }
 
-Candidate CompiledTest::concretize(const std::vector<EventId> &WriteForRead,
-                                   const Relation &Co) const {
+CompiledTest::RfConcretization
+CompiledTest::concretizeRf(const std::vector<EventId> &WriteForRead) const {
   assert(WriteForRead.size() == ReadEvents.size() &&
          "rf choice arity mismatch");
-  Candidate Out;
-  Out.Exe = Skeleton;
-  Out.Exe.Co = Co;
-  std::map<EventId, EventId> RfOf;
-  for (size_t I = 0; I < ReadEvents.size(); ++I) {
-    Out.Exe.Rf.set(WriteForRead[I], ReadEvents[I]);
-    RfOf[ReadEvents[I]] = WriteForRead[I];
-  }
+  RfConcretization Out;
+  unsigned N = Skeleton.numEvents();
+  Out.EventVals.resize(N);
+  for (EventId E = 0; E < N; ++E)
+    Out.EventVals[E] = Skeleton.event(E).Val;
+  // Dense read -> write map (-1 for non-reads).
+  std::vector<int> RfOf(N, -1);
+  for (size_t I = 0; I < ReadEvents.size(); ++I)
+    RfOf[ReadEvents[I]] = static_cast<int>(WriteForRead[I]);
 
   // Value fixpoint: read values come from their rf write; write values are
   // recomputed from the register file. Iterate until stable (or give up:
-  // an unstable value cycle, which we report as inconsistent).
-  unsigned N = Out.Exe.numEvents();
-  std::vector<std::map<Register, Value>> FinalRegs(Source.numThreads());
+  // an unstable value cycle, which we report as inconsistent). Only rf is
+  // consulted — co never feeds a register value — which is what lets the
+  // enumerator hoist this out of the coherence walk.
+  Out.FinalRegs.resize(Source.numThreads());
   bool Changed = true;
   unsigned Rounds = 0;
   while (Changed && Rounds <= N + 2) {
@@ -311,9 +313,9 @@ Candidate CompiledTest::concretize(const std::vector<EventId> &WriteForRead,
         switch (Instr.Op) {
         case Opcode::Load: {
           EventId Read = static_cast<EventId>(MemEvent);
-          Value V = Out.Exe.event(RfOf[Read]).Val;
-          if (Out.Exe.event(Read).Val != V) {
-            Out.Exe.event(Read).Val = V;
+          Value V = Out.EventVals[RfOf[Read]];
+          if (Out.EventVals[Read] != V) {
+            Out.EventVals[Read] = V;
             Changed = true;
           }
           Regs[Instr.Dst] = V;
@@ -322,8 +324,8 @@ Candidate CompiledTest::concretize(const std::vector<EventId> &WriteForRead,
         case Opcode::Store: {
           EventId Write = static_cast<EventId>(MemEvent);
           Value V = OperandVal(Instr.Src1);
-          if (Out.Exe.event(Write).Val != V) {
-            Out.Exe.event(Write).Val = V;
+          if (Out.EventVals[Write] != V) {
+            Out.EventVals[Write] = V;
             Changed = true;
           }
           break;
@@ -344,13 +346,28 @@ Candidate CompiledTest::concretize(const std::vector<EventId> &WriteForRead,
           break;
         }
       }
-      FinalRegs[T] = std::move(Regs);
+      Out.FinalRegs[T] = std::move(Regs);
     }
   }
   Out.Consistent = !Changed;
+  return Out;
+}
+
+Candidate CompiledTest::concretize(const std::vector<EventId> &WriteForRead,
+                                   const Relation &Co) const {
+  Candidate Out;
+  Out.Exe = Skeleton;
+  Out.Exe.Co = Co;
+  for (size_t I = 0; I < ReadEvents.size(); ++I)
+    Out.Exe.Rf.set(WriteForRead[I], ReadEvents[I]);
+
+  RfConcretization Values = concretizeRf(WriteForRead);
+  for (EventId E = 0; E < Out.Exe.numEvents(); ++E)
+    Out.Exe.event(E).Val = Values.EventVals[E];
+  Out.Consistent = Values.Consistent;
 
   // Outcome: final registers plus the co-maximal write value per location.
-  Out.Out.Regs = std::move(FinalRegs);
+  Out.Out.Regs = std::move(Values.FinalRegs);
   for (Location Loc = 0;
        Loc < static_cast<Location>(Out.Exe.LocationNames.size()); ++Loc) {
     std::vector<EventId> Writes = Out.Exe.writesTo(Loc);

@@ -69,6 +69,23 @@ public:
   Candidate concretize(const std::vector<EventId> &WriteForRead,
                        const Relation &Co) const;
 
+  /// The co-independent part of concretize: the register/value data-flow
+  /// fixpoint reads only rf, so event values, final register files and
+  /// consistency are shared by every coherence order under one rf choice.
+  /// The incremental enumerator runs this once per rf and reuses it across
+  /// the whole coherence walk.
+  struct RfConcretization {
+    /// False when the data-flow failed to reach a fixpoint (unstable
+    /// value cycle); such rf choices yield no consistent candidate.
+    bool Consistent = true;
+    /// Final value per event id; init writes keep their initial value.
+    std::vector<Value> EventVals;
+    /// Final register file per thread.
+    std::vector<std::map<Register, Value>> FinalRegs;
+  };
+  RfConcretization
+  concretizeRf(const std::vector<EventId> &WriteForRead) const;
+
   /// Number of candidate executions (product of rf choices times coherence
   /// permutations), before consistency filtering.
   unsigned long long candidateCount() const;

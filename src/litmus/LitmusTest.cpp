@@ -168,13 +168,43 @@ bool Outcome::satisfies(const Condition &Cond) const {
 
 namespace {
 
+void appendInt(std::string &Out, long long V) {
+  char Buf[24];
+  char *End = Buf + sizeof(Buf);
+  char *P = End;
+  const bool Neg = V < 0;
+  unsigned long long U =
+      Neg ? ~static_cast<unsigned long long>(V) + 1 : static_cast<unsigned long long>(V);
+  do {
+    *--P = static_cast<char>('0' + U % 10);
+    U /= 10;
+  } while (U);
+  if (Neg)
+    *--P = '-';
+  Out.append(P, End);
+}
+
+// Hot path: a key is built for every fresh outcome both backends
+// materialize, so this formats digits directly instead of going through
+// strFormat's double vsnprintf.
 std::string buildOutcomeKey(const Outcome &O) {
   std::string Out;
+  Out.reserve(64);
   for (size_t T = 0; T < O.Regs.size(); ++T)
-    for (const auto &[R, V] : O.Regs[T])
-      Out += strFormat("%zu:r%d=%lld;", T, R, static_cast<long long>(V));
-  for (const auto &[Loc, V] : O.Memory)
-    Out += strFormat("%s=%lld;", Loc.c_str(), static_cast<long long>(V));
+    for (const auto &[R, V] : O.Regs[T]) {
+      appendInt(Out, static_cast<long long>(T));
+      Out += ":r";
+      appendInt(Out, R);
+      Out += '=';
+      appendInt(Out, V);
+      Out += ';';
+    }
+  for (const auto &[Loc, V] : O.Memory) {
+    Out += Loc;
+    Out += '=';
+    appendInt(Out, V);
+    Out += ';';
+  }
   return Out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "model/Model.h"
 
+#include <algorithm>
+
 using namespace cats;
 
 Model::~Model() = default;
@@ -53,21 +55,32 @@ bool Verdict::violates(Axiom A) const {
 }
 
 Relation Model::cachedPpo(const Execution &Exe) const {
-  return Exe.modelMemo(memoTag(), MemoPpo, [&] { return ppo(Exe); });
+  return Exe.modelMemo(memoTag(), MemoPpo, ppoTier(Exe),
+                       [&] { return ppo(Exe); });
 }
 
 Relation Model::cachedFences(const Execution &Exe) const {
-  return Exe.modelMemo(memoTag(), MemoFences, [&] { return fences(Exe); });
+  return Exe.modelMemo(memoTag(), MemoFences, fencesTier(),
+                       [&] { return fences(Exe); });
+}
+
+MemoTier Model::hbTier(const Execution &Exe) const {
+  // hb = ppo | fences | rfe: at least per-rf (rfe), plus whatever the
+  // architecture functions need.
+  MemoTier T = MemoTier::PerRf;
+  T = std::max(T, ppoTier(Exe));
+  T = std::max(T, fencesTier());
+  return T;
 }
 
 Relation Model::cachedHappensBefore(const Execution &Exe) const {
-  return Exe.modelMemo(memoTag(), MemoHb, [&] {
+  return Exe.modelMemo(memoTag(), MemoHb, hbTier(Exe), [&] {
     return cachedPpo(Exe) | cachedFences(Exe) | Exe.rfe();
   });
 }
 
 Relation Model::cachedHbStar(const Execution &Exe) const {
-  return Exe.modelMemo(memoTag(), MemoHbStar, [&] {
+  return Exe.modelMemo(memoTag(), MemoHbStar, hbTier(Exe), [&] {
     return cachedHappensBefore(Exe).reflexiveTransitiveClosure();
   });
 }
@@ -107,8 +120,8 @@ Verdict Model::check(const Execution &Exe) const {
     Fail(Axiom::NoThinAir);
 
   // OBSERVATION: irreflexive(fre; prop; hb*).
-  Relation Prop =
-      Exe.modelMemo(memoTag(), MemoProp, [&] { return prop(Exe); });
+  Relation Prop = Exe.modelMemo(memoTag(), MemoProp, propTier(Exe),
+                                [&] { return prop(Exe); });
   Relation HbStar = cachedHbStar(Exe);
   if (!Exe.fre().compose(Prop).compose(HbStar).isIrreflexive())
     Fail(Axiom::Observation);

@@ -9,6 +9,8 @@
 #include "model/HwModel.h"
 #include "model/SimpleModels.h"
 
+#include <utility>
+
 using namespace cats;
 
 namespace {
@@ -81,6 +83,50 @@ const Model &cats::modelFor(Arch A) {
     return cppRaModel();
   }
   return scModel();
+}
+
+const Model *cats::strongerModel(const Model &M) {
+  // Parent table of the strength forest rooted at SC. Each entry (child,
+  // parent) asserts: parent allows an execution => child allows it. The
+  // containments behind each edge:
+  //   TSO < SC        ppo po\WR < po; prop ppo|mfence|rfe|fr < po|rf|fr
+  //   PSO < TSO       ppo po\(W x M) < po\WR, same fences/prop shape
+  //   RMO < PSO       ppo deps only (read-sourced, so < po\(W x M));
+  //                   llh uniproc is a weakening
+  //   C++RA < SC      hb po|rfe < hb_SC; prop (po|rf)+ and the weakened
+  //                   PROPAGATION both sit inside acyclic(po|rf|fr|co)
+  //   Power < SC      on uniproc-passing executions rfi, rdw, detour are
+  //   Power-ARM < SC  po-ordered, so the ppo fixpoint, fences and prop
+  //                   all live in (po|rf|fr|co)+
+  //   ARM < Power-ARM identical config minus po-loc in cc0 (the ppo
+  //                   fixpoint is monotone in cc0)
+  //   ARM llh < ARM   identical config plus the llh uniproc weakening
+  //
+  // Resolved by name once into a by-position table over allModels(), so
+  // the per-call path is a pointer scan: this runs per checker
+  // construction, i.e. per simulated test, and Model::name() allocates.
+  static const std::vector<const Model *> ParentOf = [] {
+    static const std::pair<const char *, const char *> Edges[] = {
+        {"TSO", "SC"},        {"PSO", "TSO"},     {"RMO", "PSO"},
+        {"C++RA", "SC"},      {"Power", "SC"},    {"Power-ARM", "SC"},
+        {"ARM", "Power-ARM"}, {"ARM llh", "ARM"}};
+    const std::vector<const Model *> &All = allModels();
+    std::vector<const Model *> P(All.size(), nullptr);
+    for (const auto &[Child, Parent] : Edges)
+      for (size_t I = 0; I < All.size(); ++I)
+        if (All[I]->name() == Child)
+          P[I] = modelByName(Parent);
+    return P;
+  }();
+  // The claim is about the registry instances, not about whatever else
+  // happens to share a display name: a foreign Model subclass named "TSO"
+  // gets no ancestor. Pointer identity against the registry enforces
+  // exactly that.
+  const std::vector<const Model *> &All = allModels();
+  for (size_t I = 0; I < All.size(); ++I)
+    if (All[I] == &M)
+      return ParentOf[I];
+  return nullptr;
 }
 
 Expected<std::vector<const Model *>>

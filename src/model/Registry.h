@@ -37,6 +37,22 @@ resolveModels(const std::vector<std::string> &Names);
 /// The default model for a litmus architecture (Power for Arch::Power...).
 const Model &modelFor(Arch A);
 
+/// The designated registry model that is provably *stronger* than \p M
+/// (every execution it allows, \p M allows too), or nullptr when \p M has
+/// none (SC, or a model the registry does not know). The pruned judging
+/// backend uses this to skip a weaker model's axiom checks once its
+/// stronger ancestor has allowed the execution; the differential harness
+/// (tests/differential.cpp, ModelStrengthImplications) re-derives every
+/// edge of the table on the full catalogue's candidate spaces.
+///
+/// The edges follow from monotonicity of the four axioms of Fig. 5 in the
+/// architecture triple (docs/enumeration.md spells out each containment):
+/// SC > TSO > PSO > RMO, SC > C++RA, SC > Power, SC > Power-ARM, and
+/// Power-ARM > ARM > ARM llh. Power vs the ARM family is deliberately
+/// *not* related: the two read disjoint fence vocabularies (sync/lwsync
+/// vs dmb/dsb), so neither's hb contains the other's on fenced tests.
+const Model *strongerModel(const Model &M);
+
 } // namespace cats
 
 #endif // CATS_MODEL_REGISTRY_H

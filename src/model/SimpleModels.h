@@ -32,6 +32,10 @@ public:
   Relation ppo(const Execution &Exe) const override;
   Relation fences(const Execution &Exe) const override;
   Relation prop(const Execution &Exe) const override;
+  MemoTier ppoTier(const Execution &) const override {
+    return MemoTier::Static;
+  }
+  MemoTier fencesTier() const override { return MemoTier::Static; }
 };
 
 /// Sparc/x86 Total Store Order.
@@ -41,6 +45,10 @@ public:
   Relation ppo(const Execution &Exe) const override;
   Relation fences(const Execution &Exe) const override;
   Relation prop(const Execution &Exe) const override;
+  MemoTier ppoTier(const Execution &) const override {
+    return MemoTier::Static;
+  }
+  MemoTier fencesTier() const override { return MemoTier::Static; }
 };
 
 /// C++ restricted to release-acquire atomics, in the (slightly stronger
@@ -52,6 +60,13 @@ public:
   Relation ppo(const Execution &Exe) const override;
   Relation fences(const Execution &Exe) const override;
   Relation prop(const Execution &Exe) const override;
+  MemoTier ppoTier(const Execution &) const override {
+    return MemoTier::Static;
+  }
+  MemoTier fencesTier() const override { return MemoTier::Static; }
+  MemoTier propTier(const Execution &) const override {
+    return MemoTier::PerRf;
+  }
   AxiomStyle style() const override {
     AxiomStyle S;
     S.PropagationIrreflexiveOnly = true;
@@ -68,6 +83,10 @@ public:
   Relation ppo(const Execution &Exe) const override;
   Relation fences(const Execution &Exe) const override;
   Relation prop(const Execution &Exe) const override;
+  MemoTier ppoTier(const Execution &) const override {
+    return MemoTier::Static;
+  }
+  MemoTier fencesTier() const override { return MemoTier::Static; }
 };
 
 /// Sparc Relaxed Memory Order: only dependencies and fences order
@@ -79,6 +98,10 @@ public:
   Relation ppo(const Execution &Exe) const override;
   Relation fences(const Execution &Exe) const override;
   Relation prop(const Execution &Exe) const override;
+  MemoTier ppoTier(const Execution &) const override {
+    return MemoTier::Static;
+  }
+  MemoTier fencesTier() const override { return MemoTier::Static; }
   AxiomStyle style() const override {
     AxiomStyle S;
     S.AllowLoadLoadHazard = true;

@@ -201,13 +201,16 @@ Expected<SweepTestResult> cats::sweepTestResultFromJson(const JsonValue &E) {
       if (Status S = parseOutcomeSet(M.get("allowed_states"), R.AllowedOutcomes);
           S.failed())
         return Ret::error(Out.TestName + ": " + S.message());
-      // Mirror the shared fields so every entry is a complete
-      // SimulationResult, exactly as the live engine produces them.
+      // Mirror the shared counts so every entry stands alone, exactly as
+      // the live engine produces them (the shared ConsistentOutcomes set
+      // stays on the multi result, matching MultiModelChecker::take()).
       R.CandidatesTotal = Out.Result.CandidatesTotal;
       R.CandidatesConsistent = Out.Result.CandidatesConsistent;
-      R.ConsistentOutcomes = Out.Result.ConsistentOutcomes;
       Out.Result.PerModel.push_back(std::move(R));
     }
+    if (Out.Result.PerModel.size() == 1)
+      Out.Result.PerModel.front().ConsistentOutcomes =
+          Out.Result.ConsistentOutcomes;
   }
   return Out;
 }

@@ -23,7 +23,8 @@ bool SweepReport::allOk() const {
   return true;
 }
 
-SweepEngine::SweepEngine(SweepOptions Opts) : Workers(Opts.Jobs) {
+SweepEngine::SweepEngine(SweepOptions Opts)
+    : Workers(Opts.Jobs), Backend(Opts.Backend) {
   unsigned Hw = std::thread::hardware_concurrency();
   if (Hw == 0)
     Hw = 1;
@@ -35,7 +36,7 @@ SweepEngine::SweepEngine(SweepOptions Opts) : Workers(Opts.Jobs) {
 
 namespace {
 
-SweepTestResult runOneJob(const SweepJob &Job) {
+SweepTestResult runOneJob(const SweepJob &Job, JudgeBackend Backend) {
   SweepTestResult Out;
   Out.TestName = Job.Test.Name;
   const auto Start = std::chrono::steady_clock::now();
@@ -54,7 +55,7 @@ SweepTestResult runOneJob(const SweepJob &Job) {
       Out.Error = Compiled.message();
     } else {
       obs::Span EnumerateSpan("enumerate+judge");
-      Out.Result = simulateAll(*Compiled, Job.Models);
+      Out.Result = simulateAll(*Compiled, Job.Models, Backend);
     }
   }
   if (!Out.Error.empty())
@@ -93,7 +94,7 @@ SweepReport SweepEngine::run(const std::vector<SweepJob> &Jobs) const {
       const size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Jobs.size())
         return;
-      Report.Tests[I] = runOneJob(Jobs[I]);
+      Report.Tests[I] = runOneJob(Jobs[I], Backend);
     }
   };
 

@@ -57,6 +57,9 @@ struct SweepOptions {
   /// above the hardware concurrency are clamped to it: sweep jobs are
   /// CPU-bound, so oversubscription only adds context switching.
   unsigned Jobs = 0;
+  /// Judging backend for every job (docs/enumeration.md). Pruned is
+  /// byte-identical to Naive; Bmc is opt-in (lower-bound allowed counts).
+  JudgeBackend Backend = JudgeBackend::Pruned;
 };
 
 /// A completed sweep: per-job results in submission order.
@@ -127,6 +130,7 @@ public:
 
 private:
   unsigned Workers;
+  JudgeBackend Backend;
 };
 
 /// Convenience: one job per test, all judged under the same \p Models.

@@ -1,0 +1,229 @@
+//===- symmetry.cpp - Thread-symmetry reduction correctness ------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the thread-symmetry layer of the incremental enumerator
+/// (src/herd/Enumerator.cpp): tests whose threads are exactly identical
+/// are enumerated by canonical orbit representatives only, with the
+/// orbit's remaining images restituted by multiplicity accounting. The
+/// hand-counted examples below pin the exact arithmetic — judged leaves,
+/// reused images, pruned mass — against numbers derived on paper, and the
+/// permutation-invariance tests pin the semantic claim the reduction
+/// rests on: renaming identical threads cannot change any verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#include "herd/Enumerator.h"
+#include "herd/Simulator.h"
+#include "model/Registry.h"
+
+#include <gtest/gtest.h>
+
+using namespace cats;
+
+namespace {
+
+/// Runs the incremental enumerator on \p Test and returns its counters
+/// plus the finished result through \p Out.
+EnumerationStats enumerate(const LitmusTest &Test,
+                           MultiSimulationResult &Out) {
+  auto Compiled = CompiledTest::compile(Test);
+  EXPECT_TRUE(static_cast<bool>(Compiled)) << Compiled.message();
+  MultiModelChecker Checker(*Compiled, allModels());
+  EnumerationStats Stats = enumerateIncremental(*Compiled, Checker);
+  Checker.setEnumerationStats(Stats);
+  Out = Checker.take();
+  return Stats;
+}
+
+/// Naive reference result for the same test.
+MultiSimulationResult naive(const LitmusTest &Test) {
+  return simulateAll(Test, allModels(), JudgeBackend::Naive);
+}
+
+/// Full-equality check of the shared fields and every per-model entry.
+void expectSameResult(const MultiSimulationResult &A,
+                      const MultiSimulationResult &B) {
+  EXPECT_EQ(A.CandidatesTotal, B.CandidatesTotal);
+  EXPECT_EQ(A.CandidatesConsistent, B.CandidatesConsistent);
+  EXPECT_EQ(A.ConsistentOutcomes, B.ConsistentOutcomes);
+  ASSERT_EQ(A.PerModel.size(), B.PerModel.size());
+  for (size_t I = 0; I < A.PerModel.size(); ++I) {
+    EXPECT_EQ(A.PerModel[I].CandidatesAllowed,
+              B.PerModel[I].CandidatesAllowed)
+        << A.PerModel[I].ModelName;
+    EXPECT_EQ(A.PerModel[I].AllowedOutcomes, B.PerModel[I].AllowedOutcomes)
+        << A.PerModel[I].ModelName;
+    EXPECT_EQ(A.PerModel[I].ConditionReachable,
+              B.PerModel[I].ConditionReachable)
+        << A.PerModel[I].ModelName;
+  }
+}
+
+} // namespace
+
+/// Three identical single-store threads. Hand count: three writes to x,
+/// no reads, so the candidate space is exactly the 3! = 6 coherence
+/// orders, all value-consistent. The symmetry group is the full S3 on
+/// the three threads and acts freely on the orders: one orbit, one
+/// canonical leaf judged, five images restituted. No same-thread
+/// same-location pair exists, so the partial cut never arms.
+TEST(Symmetry, ThreeIdenticalWriters) {
+  LitmusTest Test;
+  Test.Name = "sym-w-w-w";
+  Test.TargetArch = Arch::Power;
+  for (int T = 0; T < 3; ++T)
+    Test.Threads.push_back({Instruction::store("x", Operand::imm(1))});
+
+  MultiSimulationResult Result;
+  EnumerationStats Stats = enumerate(Test, Result);
+  EXPECT_EQ(Result.CandidatesTotal, 6u);
+  EXPECT_EQ(Result.CandidatesConsistent, 6u);
+  EXPECT_EQ(Stats.JudgedCandidates, 1u);
+  EXPECT_EQ(Stats.SymmetryReused, 5u);
+  EXPECT_EQ(Stats.PrunedCandidates, 0u);
+  EXPECT_EQ(Stats.PartialCuts, 0u);
+  expectSameResult(Result, naive(Test));
+}
+
+/// Two identical store-then-load threads on one location. Hand count:
+/// two program writes w0/w1 plus init gives each read 3 rf sources and
+/// the writes 2 coherence orders — 18 raw candidates, all 18
+/// value-consistent (a load's value is whatever it reads). SC PER
+/// LOCATION then kills every candidate where a read sees a write
+/// coherence-before its own thread's po-earlier store (the classic coWR
+/// shape), leaving 2 survivors per coherence order = 4. The swap of the
+/// two threads pairs them into 2 orbits of size 2: 2 canonical leaves
+/// judged, 2 images reused, and 18 - 4 = 14 candidates pruned without
+/// materialization.
+TEST(Symmetry, TwoIdenticalStoreLoadThreads) {
+  LitmusTest Test;
+  Test.Name = "sym-sl-sl";
+  Test.TargetArch = Arch::Power;
+  for (int T = 0; T < 2; ++T)
+    Test.Threads.push_back({Instruction::store("x", Operand::imm(1)),
+                            Instruction::load(1, "x")});
+
+  MultiSimulationResult Result;
+  EnumerationStats Stats = enumerate(Test, Result);
+  EXPECT_EQ(Result.CandidatesTotal, 18u);
+  EXPECT_EQ(Result.CandidatesConsistent, 18u);
+  EXPECT_EQ(Stats.JudgedCandidates, 2u);
+  EXPECT_EQ(Stats.SymmetryReused, 2u);
+  EXPECT_EQ(Stats.PrunedCandidates, 14u);
+  EXPECT_GT(Stats.PartialCuts, 0u);
+  expectSameResult(Result, naive(Test));
+}
+
+/// The sum rule the two counts above instantiate: judged leaves plus
+/// reused images plus pruned mass exactly covers the consistent space.
+/// Checked here on a 3-thread mixed example (two identical writers plus
+/// a distinct reader) where the group is the S2 on the writer pair.
+TEST(Symmetry, AccountingCoversConsistentSpace) {
+  LitmusTest Test;
+  Test.Name = "sym-w-w-r";
+  Test.TargetArch = Arch::Power;
+  Test.Threads.push_back({Instruction::store("x", Operand::imm(1))});
+  Test.Threads.push_back({Instruction::store("x", Operand::imm(1))});
+  Test.Threads.push_back(
+      {Instruction::load(1, "x"), Instruction::load(2, "x")});
+
+  MultiSimulationResult Result;
+  EnumerationStats Stats = enumerate(Test, Result);
+  // 2 writes + init per read: 3 * 3 rf choices, 2 coherence orders.
+  EXPECT_EQ(Result.CandidatesTotal, 18u);
+  EXPECT_EQ(Stats.JudgedCandidates + Stats.SymmetryReused +
+                Stats.PrunedCandidates,
+            Result.CandidatesConsistent);
+  EXPECT_GT(Stats.SymmetryReused, 0u);
+  expectSameResult(Result, naive(Test));
+}
+
+/// No symmetry without identical code: perturbing one thread's stored
+/// value dissolves the group and the enumerator must fall back to
+/// one-leaf-per-candidate with zero reuse.
+TEST(Symmetry, DistinctThreadsHaveNoGroup) {
+  LitmusTest Test;
+  Test.Name = "asym-w-w";
+  Test.TargetArch = Arch::Power;
+  Test.Threads.push_back({Instruction::store("x", Operand::imm(1))});
+  Test.Threads.push_back({Instruction::store("x", Operand::imm(2))});
+
+  MultiSimulationResult Result;
+  EnumerationStats Stats = enumerate(Test, Result);
+  EXPECT_EQ(Result.CandidatesTotal, 2u);
+  EXPECT_EQ(Stats.JudgedCandidates, 2u);
+  EXPECT_EQ(Stats.SymmetryReused, 0u);
+  expectSameResult(Result, naive(Test));
+}
+
+/// Renaming identical threads is a no-op on the program text, so only
+/// the final condition can tell them apart. Asking the same question of
+/// thread 1 and of thread 2 of an identical pair must get the same
+/// answer under every model — this is the invariance the orbit-image
+/// outcome transform (Regs'[sigma(t)] = Regs[t]) relies on.
+TEST(Symmetry, ConditionInvariantUnderThreadRenaming) {
+  LitmusTest Test;
+  Test.Name = "sym-rename";
+  Test.TargetArch = Arch::Power;
+  Test.Threads.push_back({Instruction::store("x", Operand::imm(1)),
+                          Instruction::load(1, "y")});
+  Test.Threads.push_back({Instruction::store("y", Operand::imm(1)),
+                          Instruction::load(1, "x")});
+  // Threads 1 and 2 are the identical pair; thread 0 is their sibling.
+  Test.Threads.push_back(Test.Threads[1]);
+
+  LitmusTest OnT1 = Test;
+  OnT1.Final.addConjunction({ConditionAtom::regEquals(1, 1, 0),
+                             ConditionAtom::regEquals(0, 1, 1)});
+  LitmusTest OnT2 = Test;
+  OnT2.Final.addConjunction({ConditionAtom::regEquals(2, 1, 0),
+                             ConditionAtom::regEquals(0, 1, 1)});
+
+  MultiSimulationResult R1 = simulateAll(OnT1, allModels());
+  MultiSimulationResult R2 = simulateAll(OnT2, allModels());
+  ASSERT_EQ(R1.PerModel.size(), R2.PerModel.size());
+  EXPECT_EQ(R1.CandidatesTotal, R2.CandidatesTotal);
+  EXPECT_EQ(R1.CandidatesConsistent, R2.CandidatesConsistent);
+  for (size_t I = 0; I < R1.PerModel.size(); ++I) {
+    EXPECT_EQ(R1.PerModel[I].ConditionReachable,
+              R2.PerModel[I].ConditionReachable)
+        << R1.PerModel[I].ModelName;
+    EXPECT_EQ(R1.PerModel[I].CandidatesAllowed,
+              R2.PerModel[I].CandidatesAllowed)
+        << R1.PerModel[I].ModelName;
+  }
+  expectSameResult(R1, naive(OnT1));
+  expectSameResult(R2, naive(OnT2));
+}
+
+/// Same invariance at the message-passing scale with a fence: the
+/// identical pair are two receivers, and the condition asks whether one
+/// specific receiver can see the stale value.
+TEST(Symmetry, TwoIdenticalReceiversPower) {
+  LitmusTest Test;
+  Test.Name = "sym-mp-2r";
+  Test.TargetArch = Arch::Power;
+  Test.Threads.push_back({Instruction::store("x", Operand::imm(1)),
+                          Instruction::fenceNamed("sync"),
+                          Instruction::store("y", Operand::imm(1))});
+  ThreadCode Receiver = {Instruction::load(1, "y"),
+                         Instruction::load(2, "x")};
+  Test.Threads.push_back(Receiver);
+  Test.Threads.push_back(Receiver);
+
+  for (int Receiver : {1, 2}) {
+    LitmusTest Q = Test;
+    Q.Final.addConjunction({ConditionAtom::regEquals(Receiver, 1, 1),
+                            ConditionAtom::regEquals(Receiver, 2, 0)});
+    MultiSimulationResult Pruned = simulateAll(Q, allModels());
+    expectSameResult(Pruned, naive(Q));
+    // The receivers are unfenced, so Power allows the stale read while
+    // SC forbids it — a verdict split the symmetry layer must preserve.
+    EXPECT_TRUE(Pruned.forModel("Power")->ConditionReachable);
+    EXPECT_FALSE(Pruned.forModel("SC")->ConditionReachable);
+  }
+}

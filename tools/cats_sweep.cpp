@@ -46,6 +46,9 @@ int usage(const char *Argv0) {
       {"--filter REGEX", "keep only tests whose name matches"},
       {"--catalogue", "add the built-in figure catalogue to the inputs"},
       {"--batch N", "streaming batch size for campaign runs (default: 64)"},
+      {"--backend B", "judging backend: pruned (default), naive, or bmc\n"
+                      "(bmc reports lower-bound allowed counts; see\n"
+                      "docs/enumeration.md)"},
       {"--json FILE", "write the cats-sweep-report/1 JSON report"},
       {"--herd", "print the classic herd block per test x model"},
       {"--quiet", "suppress the summary table"}};
@@ -71,6 +74,7 @@ int usage(const char *Argv0) {
 
 int main(int argc, char **argv) {
   unsigned Jobs = 0, Batch = 64;
+  JudgeBackend Backend = JudgeBackend::Pruned;
   bool UseCatalogue = false, Herd = false, Quiet = false;
   std::string JsonPath, Filter;
   std::vector<std::string> ModelNames;
@@ -105,6 +109,17 @@ int main(int argc, char **argv) {
     } else if (Args.is("--batch")) {
       if (!Args.unsignedValue(Batch))
         return 2;
+    } else if (Args.is("--backend")) {
+      const char *V = Args.value();
+      if (!V)
+        return 2;
+      if (!parseJudgeBackend(V, Backend)) {
+        std::fprintf(stderr,
+                     "cats_sweep: unknown backend '%s' (expected "
+                     "naive, pruned, or bmc)\n",
+                     V);
+        return 2;
+      }
     } else if (Args.is("--json")) {
       const char *V = Args.value();
       if (!V)
@@ -147,7 +162,10 @@ int main(int argc, char **argv) {
   cli::applyObsFlags(Obs);
   obs::ProgressReporter Progress("cats_sweep", 0, Obs.Progress);
 
-  SweepEngine Engine(SweepOptions{Jobs});
+  SweepOptions EngineOpts;
+  EngineOpts.Jobs = Jobs;
+  EngineOpts.Backend = Backend;
+  SweepEngine Engine(EngineOpts);
   SweepReport Report;
   std::vector<LitmusTest> Tests; // materialized path only, for --herd
   bool LoadFailed = false;
