@@ -9,6 +9,7 @@
 #include "campaign/Shard.h"
 #include "mole/Mine.h"
 #include "obs/Metrics.h"
+#include "obs/Witness.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -64,6 +65,37 @@ std::string foldMetricsSections(const std::vector<JsonValue> &Inputs,
   }
   if (Any)
     Root.set("metrics", std::move(Merged));
+  return std::string();
+}
+
+/// Folds the optional cats-witness/1 sections of the inputs into \p Root:
+/// the witness lists simply concatenate in input order (each witness is
+/// already tagged with its test and model). Reports without a witness
+/// section contribute nothing; when none carries one, \p Root stays
+/// witness-free. Returns a non-empty error string on a malformed section.
+std::string foldWitnessSections(const std::vector<JsonValue> &Inputs,
+                                JsonValue &Root) {
+  JsonValue Merged = JsonValue::array();
+  bool Any = false;
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    const JsonValue *Section = Inputs[I].get("witness");
+    if (!Section)
+      continue;
+    const JsonValue *Schema = Section->get("schema");
+    const JsonValue *List = Section->get("witnesses");
+    if (!Section->isObject() || !Schema || !Schema->isString() ||
+        Schema->asString() != obs::WitnessSchema || !List || !List->isArray())
+      return strFormat("input %zu: malformed witness section", I + 1);
+    Any = true;
+    for (const JsonValue &W : List->elements())
+      Merged.push(W);
+  }
+  if (Any) {
+    JsonValue Section = JsonValue::object();
+    Section.set("schema", obs::WitnessSchema);
+    Section.set("witnesses", std::move(Merged));
+    Root.set("witness", std::move(Section));
+  }
   return std::string();
 }
 
@@ -201,6 +233,8 @@ cats::mergeSweepReports(const std::vector<JsonValue> &Inputs) {
     Tests.push(*Test);
   Root.set("tests", std::move(Tests));
   if (std::string Error = foldMetricsSections(Inputs, Root); !Error.empty())
+    return Ret::error(Error);
+  if (std::string Error = foldWitnessSections(Inputs, Root); !Error.empty())
     return Ret::error(Error);
   return Root;
 }

@@ -22,7 +22,7 @@ namespace {
 
 /// Bumped whenever the entry format or the key recipe changes; part of
 /// the hashed content, so old directories simply miss.
-constexpr const char *CacheFormatVersion = "cats-cache/1";
+constexpr const char *CacheFormatVersion = "cats-cache/2";
 
 /// 64-bit FNV-1a over \p Text, from \p Seed.
 uint64_t fnv1a64(const std::string &Text, uint64_t Seed) {
@@ -42,7 +42,7 @@ std::string cats::resultCacheKey(const LitmusTest &Test,
   Content += Test.toString();
   Content += "\nmodels:";
   for (const Model *M : Models)
-    Content += M->name() + ";";
+    Content += M->name() + "=" + M->definitionFingerprint() + ";";
   // Two independently seeded 64-bit FNV-1a halves make a 128-bit key;
   // collisions at any realistic campaign scale are then negligible.
   const uint64_t Lo = fnv1a64(Content, 14695981039346656037ull);

@@ -11,16 +11,14 @@
 /// what changed. The key is a 128-bit FNV-1a hash over the *concretized*
 /// test text (LitmusTest::toString(), which includes the name, code,
 /// initial state and final condition) plus the ordered model display
-/// names and a cache format version; the value is the test's
-/// cats-sweep-report/1 entry. Any edit to the test, the model list or its
-/// order therefore misses naturally.
-///
-/// What the key deliberately does NOT cover: the *definitions* behind the
-/// model names. Registry models only change with the binary, so the rule
-/// is operational (docs/campaigns.md): a cache directory is valid for one
-/// model-definition epoch — wipe it (or point --cache elsewhere) after
-/// changing model semantics. CI keys its cache restore path on the model
-/// sources for exactly this reason.
+/// names, their definition fingerprints
+/// (Model::definitionFingerprint(): the .cat source hash for cat-backed
+/// models, the architecture-config identity for native ones) and a cache
+/// format version; the value is the test's cats-sweep-report/1 entry.
+/// Any edit to the test, the model list, its order, or a model's
+/// *definition* therefore misses naturally — editing a .cat file or
+/// changing a native model's configuration invalidates exactly the
+/// entries that depended on it, with no epoch bookkeeping.
 ///
 /// Layout: <dir>/<kk>/<key>.json, fanned out on the first two key hex
 /// digits. Entries are written to a temp file and renamed into place, so

@@ -221,6 +221,36 @@ EnumerationStats cats::enumerateIncremental(const CompiledTest &Compiled,
   std::vector<std::vector<Value>> ValueSets(AllLocs.size());
   std::vector<size_t> VPick(AllLocs.size());
 
+  // Witness mode: turns the first partial-graph cycle that justified a
+  // prune cut into labeled provenance edges. Membership order mirrors how
+  // the graph was assembled — rf, then po-loc (llh-weakened), then co
+  // (init-co or an ordered write pair), leaving fr for the read-to-write
+  // edges the init/branch completion added.
+  auto recordCut = [&](const Relation &Graph, const Relation &CoSoFar) {
+    std::vector<EventId> Loop = Graph.minimalCycle();
+    if (Loop.size() < 2)
+      return;
+    std::vector<LabeledEdge> Cycle;
+    for (size_t I = 0; I + 1 < Loop.size(); ++I) {
+      LabeledEdge E;
+      E.From = Loop[I];
+      E.To = Loop[I + 1];
+      if (Scratch.Rf.test(E.From, E.To))
+        E.Label = "rf";
+      else if (PoLocLlh.test(E.From, E.To))
+        E.Label = "po-loc";
+      else if (CoSoFar.test(E.From, E.To) ||
+               (Skel.event(E.From).isWrite() && Skel.event(E.To).isWrite()))
+        E.Label = "co";
+      else
+        E.Label = "fr";
+      Cycle.push_back(E);
+    }
+    Scratch.Co = CoSoFar;
+    Scratch.invalidateDerived(MemoTier::PerCo);
+    Checker.recordPruneCut(Scratch, std::move(Cycle));
+  };
+
   auto visitRf = [&](const std::vector<EventId> &RfVec) {
     Checker.accountTotal(CoCount);
     CompiledTest::RfConcretization C = Compiled.concretizeRf(RfVec);
@@ -336,6 +366,8 @@ EnumerationStats cats::enumerateIncremental(const CompiledTest &Compiled,
       // own DFS only runs when ScBase's cycle leaves the question open.
       if (!ScBaseAcyclic && !Base.isAcyclic()) {
         ++Stats.PartialCuts;
+        if (Checker.witnessCapture() && !Checker.havePruneCutWitness())
+          recordCut(Base, InitCo);
         return; // every completion violates SC PER LOCATION
       }
     }
@@ -533,6 +565,17 @@ EnumerationStats cats::enumerateIncremental(const CompiledTest &Compiled,
             }
             if (!Next.isAcyclic()) {
               ++Stats.PartialCuts;
+              if (Checker.witnessCapture() && !Checker.havePruneCutWitness()) {
+                Relation CoSoFar = InitCo;
+                for (size_t Dim = 0; Dim < D; ++Dim)
+                  for (size_t I = 0; I < Perm[Dim].size(); ++I)
+                    for (size_t J = I + 1; J < Perm[Dim].size(); ++J)
+                      CoSoFar.set(Perm[Dim][I], Perm[Dim][J]);
+                for (size_t I = 0; I < P.size(); ++I)
+                  for (size_t J = I + 1; J < P.size(); ++J)
+                    CoSoFar.set(P[I], P[J]);
+                recordCut(Next, CoSoFar);
+              }
               continue; // the whole subtree is SC-PER-LOCATION dead
             }
             Perm[D] = P;

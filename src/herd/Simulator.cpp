@@ -11,6 +11,7 @@
 #include "model/SimpleModels.h"
 #include "obs/Metrics.h"
 
+#include <algorithm>
 #include <map>
 
 using namespace cats;
@@ -182,6 +183,8 @@ void MultiModelChecker::feed(const Candidate &Cand) {
     // way, so reading the full verdict (for the per-axiom kill tallies)
     // costs the same as the boolean allows().
     const Verdict V = Models[I]->check(Cand.Exe);
+    if (WitnessMode && SatisfiesFinal)
+      captureWitness(I, V, Cand.Exe, Cand.Out);
     if (!V.Allowed) {
       if (Metrics)
         for (Axiom A : V.Violated)
@@ -194,6 +197,42 @@ void MultiModelChecker::feed(const Candidate &Cand) {
     if (SatisfiesFinal)
       R.ConditionReachable = true;
   }
+}
+
+void MultiModelChecker::enableWitnessCapture() {
+  if (WitnessMode)
+    return;
+  WitnessMode = true;
+  Slots.resize(Models.size());
+}
+
+void MultiModelChecker::captureWitness(size_t ModelIdx, const Verdict &V,
+                                       const Execution &Exe,
+                                       const Outcome &O) {
+  WitnessSlot &S = Slots[ModelIdx];
+  if (V.Allowed) {
+    if (S.HaveAllow)
+      return;
+    S.HaveAllow = true;
+    S.AllowExe = Exe;
+    S.AllowOut = O;
+    return;
+  }
+  if (S.HaveKill || V.Violated.empty())
+    return;
+  S.HaveKill = true;
+  S.KillExe = Exe;
+  S.KillOut = O;
+  S.KillAxiom = V.Violated.front();
+}
+
+void MultiModelChecker::recordPruneCut(const Execution &Partial,
+                                       std::vector<LabeledEdge> Cycle) {
+  if (!WitnessMode || HaveCut)
+    return;
+  HaveCut = true;
+  CutExe = Partial;
+  CutCycle = std::move(Cycle);
 }
 
 const std::vector<Verdict> &MultiModelChecker::judge(const Execution &Exe) {
@@ -223,6 +262,16 @@ MultiModelChecker::judgeImpl(const Execution &Exe, const bool *ScHint) {
   // violated and the kill books there without a full check. Other
   // axioms possibly violated on the same candidate are not re-derived
   // on this path — the catalogue documents judge.kill as "at least".
+  // Witness capture needs the failing axiom of every model, so it runs
+  // the full check for each: a shortcut-skipped model has an empty
+  // Violated list and a reference-formulation answer only attributes
+  // PROPAGATION, neither of which can seed an axiom-cycle witness.
+  if (WitnessMode) {
+    for (size_t I = 0; I < Models.size(); ++I)
+      JudgeBuf[I] = Models[I]->check(Exe);
+    PendingJudged = &Exe;
+    return JudgeBuf;
+  }
   for (size_t I : EvalOrder) {
     int P = StrongerIdx[I];
     if (P >= 0 && JudgeBuf[static_cast<size_t>(P)].Allowed) {
@@ -276,6 +325,16 @@ void MultiModelChecker::accountImage(const std::vector<Verdict> &Verdicts,
   OutcomeNote &Note = It->second;
   if (New)
     Note.Satisfies = O.satisfies(Final);
+  // The first image after a judge() is the identity one, whose outcome
+  // belongs to the judged execution itself — the only image the witness
+  // snapshot is valid for (later images permute threads).
+  if (WitnessMode && PendingJudged) {
+    const Execution &Judged = *PendingJudged;
+    PendingJudged = nullptr;
+    if (Note.Satisfies)
+      for (size_t I = 0; I < Models.size(); ++I)
+        captureWitness(I, Verdicts[I], Judged, O);
+  }
   // The per-model AllowedOutcomes sets and ConditionReachable flags are
   // not touched here: they are reconstructed in take() from the per-
   // outcome allowed masks, so the per-leaf cost is counter bumps and one
@@ -345,6 +404,26 @@ MultiSimulationResult MultiModelChecker::take() {
   if (Result.PerModel.size() == 1)
     Result.PerModel.front().ConsistentOutcomes = Result.ConsistentOutcomes;
 
+  // Assemble the captured witness slots now that every verdict is final.
+  // A slot can be empty when the backend never materialized evidence for
+  // the verdict (pruned subtree, bmc outcome hit); completeWitnesses
+  // fills those gaps on demand.
+  if (WitnessMode) {
+    for (size_t I = 0; I < Models.size(); ++I) {
+      const SimulationResult &R = Result.PerModel[I];
+      const WitnessSlot &S = Slots[I];
+      if (R.ConditionReachable && S.HaveAllow)
+        Result.Witnesses.push_back(obs::makeAllowedWitness(
+            Result.TestName, R.ModelName, S.AllowExe, S.AllowOut));
+      else if (!R.ConditionReachable && S.HaveKill)
+        Result.Witnesses.push_back(obs::makeKillWitness(
+            Result.TestName, *Models[I], S.KillAxiom, S.KillExe, S.KillOut));
+    }
+    if (HaveCut)
+      Result.Witnesses.push_back(obs::makePruneCutWitness(
+          Result.TestName, CutExe, std::move(CutCycle)));
+  }
+
   // Flush the local tallies into the metrics registry, once per test.
   // The fixed-name handles resolve once per process (registry addresses
   // are stable), the per-model ones come from the thread-local cache.
@@ -387,18 +466,112 @@ MultiSimulationResult MultiModelChecker::take() {
 MultiSimulationResult
 cats::simulateAll(const CompiledTest &Compiled,
                   const std::vector<const Model *> &Models,
-                  JudgeBackend Backend) {
+                  const SimulateOptions &Opts) {
   MultiModelChecker Checker(Compiled, Models);
-  if (Backend == JudgeBackend::Naive) {
+  if (Opts.Witness)
+    Checker.enableWitnessCapture();
+  if (Opts.Backend == JudgeBackend::Naive) {
     forEachCandidate(Compiled, [&](const Candidate &Cand) {
       Checker.feed(Cand);
       return true;
     });
   } else {
-    Checker.setEnumerationStats(enumerateIncremental(
-        Compiled, Checker, /*SkipKnownOutcomes=*/Backend == JudgeBackend::Bmc));
+    Checker.setEnumerationStats(
+        enumerateIncremental(Compiled, Checker,
+                             /*SkipKnownOutcomes=*/Opts.Backend ==
+                                 JudgeBackend::Bmc));
   }
-  return Checker.take();
+  MultiSimulationResult Result = Checker.take();
+  if (Opts.Witness) {
+    completeWitnesses(Compiled, Models, Result);
+    // Deterministic order regardless of which pass produced an entry:
+    // request order of the models, the prune-cut witness last.
+    auto Rank = [&](const obs::Witness &W) {
+      for (size_t I = 0; I < Models.size(); ++I)
+        if (W.Model == Models[I]->name())
+          return I;
+      return Models.size();
+    };
+    std::stable_sort(
+        Result.Witnesses.begin(), Result.Witnesses.end(),
+        [&](const obs::Witness &A, const obs::Witness &B) {
+          return Rank(A) < Rank(B);
+        });
+  }
+  return Result;
+}
+
+MultiSimulationResult
+cats::simulateAll(const CompiledTest &Compiled,
+                  const std::vector<const Model *> &Models,
+                  JudgeBackend Backend) {
+  SimulateOptions Opts;
+  Opts.Backend = Backend;
+  return simulateAll(Compiled, Models, Opts);
+}
+
+void cats::completeWitnesses(const CompiledTest &Compiled,
+                             const std::vector<const Model *> &Models,
+                             MultiSimulationResult &Result) {
+  const Condition &Final = Compiled.test().Final;
+
+  // Which models still need evidence (the capture may have covered them).
+  std::vector<bool> Have(Models.size(), false);
+  for (const obs::Witness &W : Result.Witnesses)
+    for (size_t I = 0; I < Models.size(); ++I)
+      if (W.Model == Models[I]->name())
+        Have[I] = true;
+  size_t Missing = 0;
+  for (bool H : Have)
+    Missing += !H;
+  if (!Missing)
+    return;
+
+  // When no consistent outcome satisfies the condition the forbidden
+  // verdicts are condition-level facts, not axiom kills: emit the marker
+  // without walking a single candidate.
+  bool Satisfiable = false;
+  for (const Outcome &O : Result.ConsistentOutcomes)
+    if (O.satisfies(Final)) {
+      Satisfiable = true;
+      break;
+    }
+  if (!Satisfiable) {
+    for (size_t I = 0; I < Models.size(); ++I)
+      if (!Have[I])
+        Result.Witnesses.push_back(obs::makeUnreachableWitness(
+            Result.TestName, Models[I]->name()));
+    return;
+  }
+
+  // Naive walk over the satisfying consistent candidates, stopping as
+  // soon as every missing model has its witness. An Allow verdict is
+  // final on the first allowed candidate; a Forbid verdict is killed on
+  // *every* satisfying candidate, so the first one seen serves.
+  forEachCandidate(Compiled, [&](const Candidate &Cand) {
+    if (!Cand.Consistent || !Cand.Out.satisfies(Final))
+      return true;
+    Cand.Exe.enableDerivedCache();
+    for (size_t I = 0; I < Models.size(); ++I) {
+      if (Have[I])
+        continue;
+      const Verdict V = Models[I]->check(Cand.Exe);
+      const bool Reachable = Result.PerModel[I].ConditionReachable;
+      if (Reachable && V.Allowed) {
+        Result.Witnesses.push_back(obs::makeAllowedWitness(
+            Result.TestName, Models[I]->name(), Cand.Exe, Cand.Out));
+      } else if (!Reachable && !V.Allowed && !V.Violated.empty()) {
+        Result.Witnesses.push_back(obs::makeKillWitness(
+            Result.TestName, *Models[I], V.Violated.front(), Cand.Exe,
+            Cand.Out));
+      } else {
+        continue;
+      }
+      Have[I] = true;
+      --Missing;
+    }
+    return Missing != 0;
+  });
 }
 
 MultiSimulationResult

@@ -19,6 +19,7 @@
 
 #include "litmus/Compiler.h"
 #include "model/Model.h"
+#include "obs/Witness.h"
 
 #include <array>
 #include <functional>
@@ -72,6 +73,11 @@ struct MultiSimulationResult {
   /// when exactly one model was requested, so simulate()'s detached return
   /// value stays a complete SimulationResult.
   std::vector<SimulationResult> PerModel;
+  /// Verdict evidence, only populated when witness capture was enabled
+  /// (docs/explain.md): per model one witness backing its verdict, plus
+  /// at most one model-independent prune-cut witness from the incremental
+  /// backend. Always empty otherwise, keeping reports byte-identical.
+  std::vector<obs::Witness> Witnesses;
 
   /// The entry for model \p Name; nullptr when the model was not swept.
   const SimulationResult *forModel(const std::string &Name) const;
@@ -212,6 +218,28 @@ public:
     HaveStats = true;
   }
 
+  /// Switches on witness capture (docs/explain.md): the judge() path runs
+  /// the full four-axiom check per model (no implication shortcut, no
+  /// reference formulations — a witness needs the failing axiom, not just
+  /// the bit) and the checker snapshots, per model, the first satisfying
+  /// execution it sees allowed and the first it sees killed; take() then
+  /// assembles them into Result.Witnesses. Call before the first
+  /// candidate; off by default, with zero cost when off.
+  void enableWitnessCapture();
+
+  /// True when enableWitnessCapture() was called.
+  bool witnessCapture() const { return WitnessMode; }
+
+  /// True once a prune-cut witness has been recorded (the enumerator only
+  /// records the first cut).
+  bool havePruneCutWitness() const { return HaveCut; }
+
+  /// Records the first prune cut of the incremental backend: \p Partial
+  /// is the scratch execution at the cut and \p Cycle the po-loc | com
+  /// cycle on its partial graph (see Enumerator.cpp). Witness mode only.
+  void recordPruneCut(const Execution &Partial,
+                      std::vector<LabeledEdge> Cycle);
+
   /// Finalizes and returns the result; the checker is spent afterwards.
   MultiSimulationResult take();
 
@@ -261,7 +289,58 @@ private:
   std::unordered_map<std::string, OutcomeNote> OutcomeNotes;
   EnumerationStats Stats;
   bool HaveStats = false;
+  /// Witness capture (enableWitnessCapture). Slots hold, per model, the
+  /// first satisfying execution seen allowed and the first seen killed;
+  /// the cut slot holds the first enumerator prune cut. take() turns the
+  /// slots into Result.Witnesses.
+  bool WitnessMode = false;
+  struct WitnessSlot {
+    bool HaveAllow = false;
+    bool HaveKill = false;
+    Execution AllowExe, KillExe;
+    Outcome AllowOut, KillOut;
+    Axiom KillAxiom = Axiom::ScPerLocation;
+  };
+  std::vector<WitnessSlot> Slots;
+  /// The execution judgeImpl last checked; accountImage consumes it on
+  /// the first (identity) orbit image, whose outcome belongs to exactly
+  /// this execution. Null between leaves.
+  const Execution *PendingJudged = nullptr;
+  bool HaveCut = false;
+  Execution CutExe;
+  std::vector<LabeledEdge> CutCycle;
+  /// feed()/accountImage capture body.
+  void captureWitness(size_t ModelIdx, const Verdict &V, const Execution &Exe,
+                      const Outcome &O);
 };
+
+/// Knobs of one simulateAll run beyond the model set.
+struct SimulateOptions {
+  JudgeBackend Backend = JudgeBackend::Pruned;
+  /// Capture verdict witnesses (MultiSimulationResult::Witnesses). The
+  /// capture piggybacks on the main pass; verdicts the pass never
+  /// materialized evidence for (pruned subtrees, bmc outcome hits) are
+  /// completed afterwards by a targeted naive walk.
+  bool Witness = false;
+};
+
+/// Runs one shared candidate enumeration of \p Compiled and checks every
+/// model in \p Models against each candidate, with explicit options.
+MultiSimulationResult simulateAll(const CompiledTest &Compiled,
+                                  const std::vector<const Model *> &Models,
+                                  const SimulateOptions &Opts);
+
+/// Fills the witnesses missing from \p Result.Witnesses so every model in
+/// \p Models has one backing its verdict: Allow verdicts get an allowed
+/// execution realizing the final condition, Forbid verdicts the first
+/// failing axiom's cycle on a satisfying candidate (or an
+/// unreachable-outcome marker when no consistent candidate satisfies the
+/// condition). Walks candidates naively with per-model early stop; cheap
+/// on litmus-sized tests. Existing witnesses (matched by model name) are
+/// kept untouched.
+void completeWitnesses(const CompiledTest &Compiled,
+                       const std::vector<const Model *> &Models,
+                       MultiSimulationResult &Result);
 
 /// Runs one shared candidate enumeration of \p Compiled and checks every
 /// model in \p Models against each candidate, using the default backend

@@ -48,6 +48,15 @@ HwModel::HwModel(HwConfig ConfigIn)
     : Config(std::move(ConfigIn)),
       MemoIdentity(internMemoTag("hw:" + tripleIdentity(Config))) {}
 
+std::string HwModel::definitionFingerprint() const {
+  // The triple identity deliberately omits the name and axiom style (so
+  // ARM/ARM llh share memo entries); the cache fingerprint needs both.
+  std::string Out = "hw:" + Config.Name + ";" + tripleIdentity(Config);
+  Out += ";llh=";
+  Out += Config.AllowLoadLoadHazard ? '1' : '0';
+  return Out;
+}
+
 unsigned HwConfig::fenceCost(const std::string &FenceName) const {
   for (const auto &[Name, Cost] : FenceCosts)
     if (Name == FenceName)

@@ -112,6 +112,11 @@ public:
   /// already derived for a candidate.
   const void *memoTag() const override { return MemoIdentity; }
 
+  /// Serializes the full HwConfig (triple parameters + axiom style), so
+  /// editing any architecture parameter invalidates cached campaign
+  /// results for this model.
+  std::string definitionFingerprint() const override;
+
 private:
   enum : unsigned { MemoFullFence = MemoFirstSubclassSlot };
 

@@ -44,6 +44,20 @@ enum class Axiom : uint8_t {
 /// Short display name: "S", "T", "O", "P".
 const char *axiomLetter(Axiom A);
 
+/// An edge of an execution graph together with the name of the derived
+/// relation it came from ("rf", "co", "fr", "po-loc", "ppo",
+/// "fence:sync", "prop", ...). The witness layer (src/obs/Witness) renders
+/// lists of these as DOT graphs and JSON cycles.
+struct LabeledEdge {
+  EventId From = 0;
+  EventId To = 0;
+  std::string Label;
+
+  bool operator==(const LabeledEdge &O) const {
+    return From == O.From && To == O.To && Label == O.Label;
+  }
+};
+
 /// Full name as the shipped .cat models label the check ("sc-per-location",
 /// "no-thin-air", "observation", "propagation"); keys the per-axiom metrics
 /// counters.
@@ -130,11 +144,29 @@ public:
   /// happens-before: ppo | fences | rfe.
   Relation happensBefore(const Execution &Exe) const;
 
-  /// Evaluates the four axioms on \p Exe.
-  Verdict check(const Execution &Exe) const;
+  /// Evaluates the four axioms on \p Exe. Virtual so adapters over other
+  /// model formalisms (e.g. the cat interpreter) can substitute their own
+  /// evaluation while staying usable wherever a Model is expected.
+  virtual Verdict check(const Execution &Exe) const;
 
   /// True when \p Exe passes every axiom.
   bool allows(const Execution &Exe) const { return check(Exe).Allowed; }
+
+  /// Provenance for a violation check() reported: the concrete evidence
+  /// that \p A fails on \p Exe, as a minimal cycle (for the acyclicity
+  /// axioms) or the fre; prop; hb* loop (for OBSERVATION), every edge
+  /// labeled by the derived relation it came from. Returns a closed edge
+  /// walk E0 -> E1 -> ... -> E0; empty when the axiom in fact holds.
+  virtual std::vector<LabeledEdge> explainViolation(Axiom A,
+                                                    const Execution &Exe) const;
+
+  /// A string that changes whenever the model's *definition* changes, not
+  /// just its name — hashed into the campaign result-cache key so model
+  /// edits self-invalidate cached verdicts. Native models fold in their
+  /// axiom style (the name covers the triple, which is fixed in code);
+  /// configurable models must override to serialize their configuration,
+  /// and .cat-backed models hash the source text.
+  virtual std::string definitionFingerprint() const;
 
 protected:
   /// Memoized wrappers around the architecture functions, shared by the
@@ -150,6 +182,25 @@ protected:
   Relation cachedHappensBefore(const Execution &Exe) const;
   /// Reflexive-transitive closure of happens-before.
   Relation cachedHbStar(const Execution &Exe) const;
+  Relation cachedProp(const Execution &Exe) const;
+
+  /// The po-loc relation as SC PER LOCATION sees it for this model's
+  /// style: read-read pairs removed under the llh weakening.
+  Relation scPerLocationPoLoc(const Execution &Exe) const;
+
+  /// Labels each consecutive edge of \p Walk with the first relation in
+  /// \p Sources containing it (shared by the explainViolation paths).
+  static std::vector<LabeledEdge>
+  labelWalk(const std::vector<EventId> &Walk,
+            const std::vector<std::pair<std::string, const Relation *>>
+                &Sources);
+
+  /// The NO THIN AIR labeling sources for hb edges: rfe, each named fence
+  /// relation restricted to the model's fences(), generic "fence", ppo.
+  /// Returned relations are materialized into \p Storage so the pointers
+  /// in the result stay valid.
+  std::vector<std::pair<std::string, const Relation *>>
+  hbEdgeSources(const Execution &Exe, std::vector<Relation> &Storage) const;
 
   enum : unsigned {
     MemoPpo = 0,

@@ -1,0 +1,92 @@
+//===- FlightRecorder.cpp - Violation crash dumps -------------------------===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/FlightRecorder.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+using namespace cats;
+using namespace cats::obs;
+
+namespace fs = std::filesystem;
+
+std::string FlightRecorder::defaultDir() {
+  if (const char *Env = std::getenv("CATS_FLIGHT_DIR"))
+    if (*Env)
+      return Env;
+  return "cats-flight-records";
+}
+
+namespace {
+
+/// Keeps incident slugs path-safe; anything exotic becomes '_'.
+std::string sanitizeSlug(const std::string &Incident) {
+  std::string Out;
+  for (char C : Incident.empty() ? std::string("incident") : Incident)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '-' ||
+            C == '_' || C == '.')
+               ? C
+               : '_';
+  return Out;
+}
+
+bool writeFile(const fs::path &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << Text;
+  return static_cast<bool>(Out);
+}
+
+} // namespace
+
+Expected<std::string>
+FlightRecorder::record(const std::string &Incident,
+                       const std::string &TestSource,
+                       const std::string &Summary,
+                       const std::vector<Witness> &Witnesses) const {
+  if (!enabled())
+    return std::string();
+
+  std::error_code EC;
+  fs::create_directories(Root, EC);
+  if (EC)
+    return Expected<std::string>::error("flight recorder: cannot create " +
+                                        Root + ": " + EC.message());
+
+  const std::string Slug = sanitizeSlug(Incident);
+  fs::path Dir;
+  for (unsigned N = 1;; ++N) {
+    Dir = fs::path(Root) / (Slug + "-" + std::to_string(N));
+    if (!fs::exists(Dir, EC))
+      break;
+    if (N == 10000)
+      return Expected<std::string>::error(
+          "flight recorder: too many incidents under " + Root);
+  }
+  fs::create_directories(Dir, EC);
+  if (EC)
+    return Expected<std::string>::error("flight recorder: cannot create " +
+                                        Dir.string() + ": " + EC.message());
+
+  bool Ok = writeFile(Dir / "summary.txt", Summary);
+  if (!TestSource.empty())
+    Ok = writeFile(Dir / "test.litmus", TestSource) && Ok;
+  Ok = writeFile(Dir / "witnesses.json",
+                 witnessSectionToJson(Witnesses).dump() + "\n") &&
+       Ok;
+  for (const Witness &W : Witnesses)
+    Ok = writeFile(Dir / ("witness-" + witnessFileStem(W) + ".dot"),
+                   witnessToDot(W)) &&
+         Ok;
+  if (!Ok)
+    return Expected<std::string>::error(
+        "flight recorder: write failed under " + Dir.string());
+  return Dir.string();
+}

@@ -1,0 +1,69 @@
+//===- FlightRecorder.h - Violation crash dumps ---------------*- C++ -*-===//
+//
+// Part of the cats project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The violation flight recorder (docs/explain.md). When a soundness
+/// oracle trips — a hardware run produces an outcome the reference model
+/// forbids, or two judging backends disagree — the interesting state is
+/// gone by the time anyone looks. The flight recorder freezes it on the
+/// spot: each incident becomes a fresh directory under the recorder root
+/// holding the litmus source, a human-readable summary, the witness JSON
+/// section, and one DOT graph per witness.
+///
+/// The root directory defaults to $CATS_FLIGHT_DIR (falling back to
+/// "cats-flight-records" in the working directory) and is created lazily
+/// on the first incident, so an armed recorder that never fires leaves no
+/// trace on disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CATS_OBS_FLIGHTRECORDER_H
+#define CATS_OBS_FLIGHTRECORDER_H
+
+#include "obs/Witness.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace cats {
+namespace obs {
+
+/// Dumps witness evidence for soundness incidents into per-incident
+/// directories. Copyable value type; all state is the root path.
+class FlightRecorder {
+public:
+  /// An armed recorder rooted at \p Dir; empty \p Dir disarms it (record()
+  /// becomes a no-op reporting success with an empty path).
+  explicit FlightRecorder(std::string Dir = defaultDir())
+      : Root(std::move(Dir)) {}
+
+  /// A disarmed recorder.
+  static FlightRecorder disabled() { return FlightRecorder(std::string()); }
+
+  /// $CATS_FLIGHT_DIR, or "cats-flight-records" when unset.
+  static std::string defaultDir();
+
+  bool enabled() const { return !Root.empty(); }
+  const std::string &rootDir() const { return Root; }
+
+  /// Records one incident: creates Root/<incident>-<N> (N = first free
+  /// index) containing test.litmus (when \p TestSource is nonempty),
+  /// summary.txt, witnesses.json, and witness-<stem>.dot per witness.
+  /// Returns the incident directory, or an empty string when disarmed.
+  Expected<std::string> record(const std::string &Incident,
+                               const std::string &TestSource,
+                               const std::string &Summary,
+                               const std::vector<Witness> &Witnesses) const;
+
+private:
+  std::string Root;
+};
+
+} // namespace obs
+} // namespace cats
+
+#endif // CATS_OBS_FLIGHTRECORDER_H

@@ -380,6 +380,59 @@ std::vector<EventId> Relation::findCycle() const {
   return {};
 }
 
+std::vector<EventId> Relation::shortestPath(EventId From, EventId To) const {
+  assert(From < Size && To < Size && "event id out of range");
+  // Plain BFS over the adjacency bitset. To support From == To (shortest
+  // nonempty loop) the start node is *not* marked visited up front; it is
+  // only closed once expanded, so the search may come back around to it.
+  constexpr EventId NoParent = ~EventId{0};
+  std::vector<EventId> Parent(Size, NoParent);
+  std::vector<uint8_t> Seen(Size, 0);
+  std::vector<EventId> Queue;
+  Queue.push_back(From);
+  for (size_t Head = 0; Head < Queue.size(); ++Head) {
+    const EventId Node = Queue[Head];
+    for (EventId Succ = 0; Succ < Size; ++Succ) {
+      if (!test(Node, Succ))
+        continue;
+      if (Succ == To) {
+        std::vector<EventId> Path;
+        Path.push_back(To);
+        for (EventId Walk = Node;; Walk = Parent[Walk]) {
+          Path.push_back(Walk);
+          if (Walk == From)
+            break;
+        }
+        std::reverse(Path.begin(), Path.end());
+        return Path;
+      }
+      if (!Seen[Succ]) {
+        Seen[Succ] = 1;
+        Parent[Succ] = Node;
+        Queue.push_back(Succ);
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<EventId> Relation::minimalCycle() const {
+  // A shortest cycle is a shortest nonempty loop through one of its nodes,
+  // so one BFS per node suffices. Litmus universes are tiny; O(N * N^2)
+  // is nothing next to the enumeration that produced the relation.
+  std::vector<EventId> Best;
+  for (EventId Node = 0; Node < Size; ++Node) {
+    std::vector<EventId> Loop = shortestPath(Node, Node);
+    if (Loop.empty())
+      continue;
+    if (Best.empty() || Loop.size() < Best.size())
+      Best = std::move(Loop);
+    if (Best.size() == 2) // self-loop; cannot do better
+      break;
+  }
+  return Best;
+}
+
 std::string Relation::toString() const {
   std::string Out = "{";
   bool First = true;

@@ -288,6 +288,17 @@ public:
   /// a cycle; empty vector otherwise. Used for diagnostics.
   std::vector<EventId> findCycle() const;
 
+  /// A shortest cycle (sequence of ids, first == last, minimal number of
+  /// edges over all cycles) if the relation has one; empty otherwise.
+  /// findCycle returns whatever the DFS stumbles on first; witnesses shown
+  /// to humans want the minimal loop instead.
+  std::vector<EventId> minimalCycle() const;
+
+  /// A shortest edge path From -> ... -> To (BFS), or an empty vector if
+  /// To is unreachable. From == To asks for a shortest nonempty loop
+  /// through From. The result includes both endpoints.
+  std::vector<EventId> shortestPath(EventId From, EventId To) const;
+
   /// Debug rendering as "{(0,1),(2,3)}".
   std::string toString() const;
 

@@ -6,6 +6,7 @@
 
 #include "sweep/ReportIO.h"
 
+#include "obs/Witness.h"
 #include "support/StringUtils.h"
 
 #include <cstdlib>
@@ -122,6 +123,15 @@ JsonValue cats::sweepReportToJson(const SweepReport &Report) {
   for (const SweepTestResult &T : Report.Tests)
     Tests.push(sweepTestResultToJson(T));
   Root.set("tests", std::move(Tests));
+
+  // The witness section exists only when capture ran (--witness); plain
+  // reports stay byte-identical to pre-witness renderings.
+  std::vector<obs::Witness> Witnesses;
+  for (const SweepTestResult &T : Report.Tests)
+    Witnesses.insert(Witnesses.end(), T.Result.Witnesses.begin(),
+                     T.Result.Witnesses.end());
+  if (!Witnesses.empty())
+    Root.set("witness", obs::witnessSectionToJson(Witnesses));
   return Root;
 }
 

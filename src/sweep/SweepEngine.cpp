@@ -24,7 +24,7 @@ bool SweepReport::allOk() const {
 }
 
 SweepEngine::SweepEngine(SweepOptions Opts)
-    : Workers(Opts.Jobs), Backend(Opts.Backend) {
+    : Workers(Opts.Jobs), Backend(Opts.Backend), Witness(Opts.Witness) {
   unsigned Hw = std::thread::hardware_concurrency();
   if (Hw == 0)
     Hw = 1;
@@ -36,7 +36,7 @@ SweepEngine::SweepEngine(SweepOptions Opts)
 
 namespace {
 
-SweepTestResult runOneJob(const SweepJob &Job, JudgeBackend Backend) {
+SweepTestResult runOneJob(const SweepJob &Job, const SimulateOptions &Opts) {
   SweepTestResult Out;
   Out.TestName = Job.Test.Name;
   const auto Start = std::chrono::steady_clock::now();
@@ -55,7 +55,7 @@ SweepTestResult runOneJob(const SweepJob &Job, JudgeBackend Backend) {
       Out.Error = Compiled.message();
     } else {
       obs::Span EnumerateSpan("enumerate+judge");
-      Out.Result = simulateAll(*Compiled, Job.Models, Backend);
+      Out.Result = simulateAll(*Compiled, Job.Models, Opts);
     }
   }
   if (!Out.Error.empty())
@@ -83,6 +83,10 @@ SweepReport SweepEngine::run(const std::vector<SweepJob> &Jobs) const {
           : std::min<unsigned>(Workers, static_cast<unsigned>(Jobs.size()));
   Report.Jobs = Used;
 
+  SimulateOptions SimOpts;
+  SimOpts.Backend = Backend;
+  SimOpts.Witness = Witness;
+
   const auto Start = std::chrono::steady_clock::now();
 
   // Work-stealing over a shared index: each worker claims the next
@@ -94,7 +98,7 @@ SweepReport SweepEngine::run(const std::vector<SweepJob> &Jobs) const {
       const size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Jobs.size())
         return;
-      Report.Tests[I] = runOneJob(Jobs[I], Backend);
+      Report.Tests[I] = runOneJob(Jobs[I], SimOpts);
     }
   };
 

@@ -60,6 +60,10 @@ struct SweepOptions {
   /// Judging backend for every job (docs/enumeration.md). Pruned is
   /// byte-identical to Naive; Bmc is opt-in (lower-bound allowed counts).
   JudgeBackend Backend = JudgeBackend::Pruned;
+  /// Capture per-(test, model) witnesses (docs/explain.md). Off by
+  /// default: the report rendering is then byte-identical to a
+  /// witness-unaware build.
+  bool Witness = false;
 };
 
 /// A completed sweep: per-job results in submission order.
@@ -131,6 +135,7 @@ public:
 private:
   unsigned Workers;
   JudgeBackend Backend;
+  bool Witness;
 };
 
 /// Convenience: one job per test, all judged under the same \p Models.

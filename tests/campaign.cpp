@@ -19,6 +19,7 @@
 #include "campaign/Merge.h"
 #include "campaign/ResultCache.h"
 #include "campaign/Shard.h"
+#include "cat/CatAdapter.h"
 #include "litmus/Catalog.h"
 #include "model/Registry.h"
 #include "mole/Mine.h"
@@ -252,6 +253,53 @@ TEST(ResultCache, HitsAreByteIdenticalAndMutationsMiss) {
             resultCacheKey(Tests[0], Reordered));
   EXPECT_FALSE(Cache->lookup(Tests[0], Reordered, Out));
   EXPECT_TRUE(Cache->lookup(Tests[0], Models, Out));
+}
+
+TEST(ResultCache, ModelDefinitionEditsMiss) {
+  // The key covers Model::definitionFingerprint(), so editing a model's
+  // *definition* — not just its display name — invalidates its entries.
+  const std::string Dir = scratchDir("cache_model_edit");
+  auto Cache = ResultCache::open(Dir);
+  ASSERT_TRUE(static_cast<bool>(Cache));
+
+  const std::string SourceV1 = "let hb = po | rfe\n"
+                               "let prop = po | rf | fr\n"
+                               "acyclic po-loc | com as sc-per-location\n"
+                               "acyclic hb as no-thin-air\n"
+                               "irreflexive fre; prop; hb* as observation\n"
+                               "acyclic co | prop as propagation\n";
+  // Same checks, weaker hb: a semantic edit under an unchanged name.
+  const std::string SourceV2 = "let hb = rfe\n"
+                               "let prop = rf | fr\n"
+                               "acyclic po-loc | com as sc-per-location\n"
+                               "acyclic hb as no-thin-air\n"
+                               "irreflexive fre; prop; hb* as observation\n"
+                               "acyclic co | prop as propagation\n";
+  auto V1 = CatAdapterModel::fromSource(SourceV1, "edited");
+  auto V2 = CatAdapterModel::fromSource(SourceV2, "edited");
+  ASSERT_TRUE(static_cast<bool>(V1)) << V1.message();
+  ASSERT_TRUE(static_cast<bool>(V2)) << V2.message();
+  EXPECT_EQ(V1->name(), V2->name());
+  EXPECT_NE(V1->definitionFingerprint(), V2->definitionFingerprint());
+
+  const LitmusTest Test = catalogueTests().front();
+  const std::vector<const Model *> WithV1 = {modelByName("SC"), &*V1};
+  const std::vector<const Model *> WithV2 = {modelByName("SC"), &*V2};
+  EXPECT_NE(resultCacheKey(Test, WithV1), resultCacheKey(Test, WithV2));
+
+  // Store under the v1 definition; the same name with the v2 definition
+  // must miss, and v1 must still hit.
+  SweepTestResult Stored;
+  Stored.TestName = Test.Name;
+  ASSERT_FALSE(Cache->store(Test, WithV1, Stored).failed());
+  SweepTestResult Out;
+  EXPECT_TRUE(Cache->lookup(Test, WithV1, Out));
+  EXPECT_FALSE(Cache->lookup(Test, WithV2, Out));
+
+  // Native models key on their architecture configuration, not just the
+  // display name either.
+  EXPECT_NE(modelByName("Power")->definitionFingerprint(),
+            modelByName("ARM")->definitionFingerprint());
 }
 
 TEST(ResultCache, CollisionGuardRejectsForeignEntries) {

@@ -29,6 +29,7 @@
 #include "herd/Simulator.h"
 #include "litmus/Catalog.h"
 #include "model/Registry.h"
+#include "obs/FlightRecorder.h"
 #include "sweep/SweepEngine.h"
 
 #include <gtest/gtest.h>
@@ -93,6 +94,27 @@ void expectBmcAgrees(const MultiSimulationResult &Bmc,
   }
 }
 
+/// On a cross-check failure, freezes the evidence: a witness-mode rerun
+/// of the test dumps its verdict explanations (and the prune cut, if one
+/// fired) into the flight-recorder directory, so the mismatch is
+/// debuggable after CI tore the workspace down.
+void flightRecordMismatch(const LitmusTest &Test,
+                          const CompiledTest &Compiled,
+                          const std::string &What) {
+  SimulateOptions Opts;
+  Opts.Backend = JudgeBackend::Pruned;
+  Opts.Witness = true;
+  MultiSimulationResult Explained =
+      simulateAll(Compiled, allModels(), Opts);
+  obs::FlightRecorder Recorder;
+  auto Saved = Recorder.record("backend-mismatch-" + Test.Name,
+                               Test.toString(),
+                               "backend cross-check mismatch: " + What + "\n",
+                               Explained.Witnesses);
+  if (Saved && !Saved->empty())
+    std::fprintf(stderr, "flight recorder: dumped %s\n", Saved->c_str());
+}
+
 /// Runs one test through all three backends under every registry model
 /// and checks the pairwise contracts plus the closed-form candidate count.
 void differentialCheck(const LitmusTest &Test) {
@@ -105,10 +127,13 @@ void differentialCheck(const LitmusTest &Test) {
   MultiSimulationResult Pruned =
       simulateAll(*Compiled, Models, JudgeBackend::Pruned);
   MultiSimulationResult Bmc = simulateAll(*Compiled, Models, JudgeBackend::Bmc);
+  const bool FailedBefore = ::testing::Test::HasNonfatalFailure();
   expectIdentical(Naive, Pruned, Test.Name + " naive-vs-pruned");
   expectBmcAgrees(Bmc, Naive, Test.Name + " bmc-vs-naive");
   EXPECT_EQ(Naive.CandidatesTotal, Compiled->candidateCount()) << Test.Name;
   EXPECT_EQ(Pruned.CandidatesTotal, Compiled->candidateCount()) << Test.Name;
+  if (!FailedBefore && ::testing::Test::HasNonfatalFailure())
+    flightRecordMismatch(Test, *Compiled, Test.Name);
 }
 
 /// Pulls up to \p Cap tests from a diy slice, skipping candidate spaces
@@ -267,4 +292,47 @@ TEST(Differential, BmcFacade) {
     EXPECT_EQ(V.Method, "axiomatic-bmc");
     EXPECT_FALSE(V.Incomplete) << Entry.Test.Name;
   }
+}
+
+/// The pruned backend's subtree cuts carry sound provenance: every
+/// prune-cut witness captured over the catalogue names a real axiom of
+/// the framework (always SC PER LOCATION — the partial po-loc | com
+/// graph is exactly the Lemma 4.1 argument), draws its cycle from the
+/// base-relation vocabulary, and closes it.
+TEST(Differential, PruneCutWitnessesSound) {
+  const std::set<std::string> AxiomNames = {
+      axiomName(Axiom::ScPerLocation), axiomName(Axiom::NoThinAir),
+      axiomName(Axiom::Observation), axiomName(Axiom::Propagation)};
+  const std::set<std::string> CutEdgeLabels = {"rf", "po-loc", "co", "fr"};
+  SimulateOptions Opts;
+  Opts.Backend = JudgeBackend::Pruned;
+  Opts.Witness = true;
+  const std::vector<const Model *> &Models = allModels();
+  size_t Cuts = 0;
+  for (const CatalogEntry &Entry : figureCatalog()) {
+    auto Compiled = CompiledTest::compile(Entry.Test);
+    ASSERT_TRUE(static_cast<bool>(Compiled)) << Entry.Test.Name;
+    MultiSimulationResult Result = simulateAll(*Compiled, Models, Opts);
+    for (const obs::Witness &W : Result.Witnesses) {
+      if (W.Kind != obs::WitnessKind::PruneCut)
+        continue;
+      ++Cuts;
+      EXPECT_EQ(W.Model, "*") << Entry.Test.Name;
+      EXPECT_TRUE(AxiomNames.count(W.Axiom))
+          << Entry.Test.Name << ": cut reason '" << W.Axiom
+          << "' is not an axiom of the framework";
+      EXPECT_EQ(W.Axiom, axiomName(Axiom::ScPerLocation)) << Entry.Test.Name;
+      ASSERT_GE(W.Cycle.size(), 2u) << Entry.Test.Name;
+      for (const LabeledEdge &E : W.Cycle)
+        EXPECT_TRUE(CutEdgeLabels.count(E.Label))
+            << Entry.Test.Name << ": edge label '" << E.Label << "'";
+      // A closed walk: edges chain and return to the start.
+      for (size_t I = 0; I + 1 < W.Cycle.size(); ++I)
+        EXPECT_EQ(W.Cycle[I].To, W.Cycle[I + 1].From) << Entry.Test.Name;
+      EXPECT_EQ(W.Cycle.back().To, W.Cycle.front().From) << Entry.Test.Name;
+    }
+  }
+  // The coherence figures (coWW, coRW1, ...) make the po-loc pruning
+  // fire, so the catalogue is a real corpus for this property.
+  EXPECT_GT(Cuts, 0u);
 }

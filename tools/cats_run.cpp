@@ -20,13 +20,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "CliCommon.h"
+#include "cat/CatAdapter.h"
+#include "litmus/Compiler.h"
 #include "litmus/TestFilter.h"
 #include "model/Registry.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Witness.h"
 #include "run/RunEngine.h"
 #include "run/Verdict.h"
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,10 +50,17 @@ int usage(const char *Argv0) {
       {"--no-pin", "do not pin worker threads by affinity"},
       {"--model NAME", "reference model (default: the host's — TSO on\n"
                        "x86, ARM on aarch64, else Power)"},
+      {"--cat FILE.cat", "use a .cat file as the reference model instead\n"
+                         "of a registry name"},
       {"--filter REGEX", "keep only tests whose name matches"},
       {"--catalogue", "add the built-in figure catalogue to the inputs"},
       {"--histogram", "print each test's outcome histogram"},
       {"--json FILE", "write the cats-run-report/1 JSON report"},
+      {"--witness", "arm the flight recorder: a soundness violation dumps\n"
+                    "the test, a summary, and witness graphs per offending\n"
+                    "outcome into $CATS_FLIGHT_DIR (default:\n"
+                    "cats-flight-records/); see docs/explain.md"},
+      {"--witness-dir DIR", "arm the flight recorder rooted at DIR"},
       {"--quiet", "suppress the summary table"}};
   for (const cli::FlagDoc &F : cli::obsFlagDocs())
     Flags.push_back(F);
@@ -69,7 +81,8 @@ int usage(const char *Argv0) {
 int main(int argc, char **argv) {
   RunOptions Opts;
   bool UseCatalogue = false, Histogram = false, Quiet = false;
-  std::string Filter, JsonPath, ModelName;
+  bool Witness = false;
+  std::string Filter, JsonPath, ModelName, CatFile, WitnessDir;
   std::vector<std::string> Paths;
   cli::ObsFlags Obs;
 
@@ -112,6 +125,11 @@ int main(int argc, char **argv) {
       if (!V)
         return 2;
       ModelName = V;
+    } else if (Args.is("--cat")) {
+      const char *V = Args.value();
+      if (!V)
+        return 2;
+      CatFile = V;
     } else if (Args.is("--filter")) {
       const char *V = Args.value();
       if (!V)
@@ -121,6 +139,14 @@ int main(int argc, char **argv) {
       UseCatalogue = true;
     } else if (Args.is("--histogram")) {
       Histogram = true;
+    } else if (Args.is("--witness")) {
+      Witness = true;
+    } else if (Args.is("--witness-dir")) {
+      const char *V = Args.value();
+      if (!V)
+        return 2;
+      Witness = true;
+      WitnessDir = V;
     } else if (Args.is("--json")) {
       const char *V = Args.value();
       if (!V)
@@ -136,9 +162,23 @@ int main(int argc, char **argv) {
     }
   }
 
-  // Resolve the reference model.
+  // Resolve the reference model: a .cat file wins over a registry name,
+  // and the adapter must outlive the run.
   const Model *Reference = nullptr;
-  if (ModelName.empty()) {
+  std::unique_ptr<CatAdapterModel> CatReference;
+  if (!CatFile.empty()) {
+    if (!ModelName.empty()) {
+      std::fprintf(stderr, "cats_run: --model and --cat are exclusive\n");
+      return 2;
+    }
+    auto Adapted = CatAdapterModel::fromFile(CatFile);
+    if (!Adapted) {
+      std::fprintf(stderr, "cats_run: %s\n", Adapted.message().c_str());
+      return 2;
+    }
+    CatReference = std::make_unique<CatAdapterModel>(Adapted.take());
+    Reference = CatReference.get();
+  } else if (ModelName.empty()) {
     Reference = &hostReferenceModel();
   } else {
     Reference = modelByName(ModelName);
@@ -213,6 +253,65 @@ int main(int argc, char **argv) {
                     B.MatchesFinal ? "  <- exists-clause" : "",
                     !B.AllowedBySc && B.AllowedByModel ? "  (relaxed)" : "",
                     !B.AllowedByModel ? "  (FORBIDDEN by model)" : "");
+    }
+  }
+
+  // Flight recorder: a soundness violation freezes its evidence on disk —
+  // the litmus source, a summary of the offending buckets, and a kill
+  // witness (model axiom + cycle) per forbidden-but-observed outcome the
+  // enumeration can reproduce. Armed but silent runs leave no trace.
+  if (Witness && !Report.allSound()) {
+    obs::FlightRecorder Recorder(
+        WitnessDir.empty() ? obs::FlightRecorder::defaultDir() : WitnessDir);
+    for (const RunTestResult &T : Report.Tests) {
+      if (T.sound())
+        continue;
+      const LitmusTest *Test = nullptr;
+      for (const LitmusTest &Candidate : Tests)
+        if (Candidate.Name == T.TestName) {
+          Test = &Candidate;
+          break;
+        }
+      std::string Summary =
+          "soundness violation: test " + T.TestName + " under model " +
+          Reference->name() + "\n" + std::to_string(T.OutsideModel) +
+          " model-forbidden iteration(s), " +
+          std::to_string(T.OutsideEnumeration) +
+          " outside the candidate enumeration\noffending outcomes:\n";
+      std::vector<obs::Witness> Witnesses;
+      for (const RunBucket &B : T.Histogram) {
+        if (B.AllowedByModel && B.Consistent)
+          continue;
+        Summary += "  " + B.Key + " x" + std::to_string(B.Count) +
+                   (B.Consistent ? " (forbidden by model)"
+                                 : " (outside the enumeration)") +
+                   "\n";
+        if (!B.Consistent || !Test)
+          continue;
+        // Re-derive the evidence: the first consistent execution with
+        // this outcome, judged by the reference model.
+        auto Compiled = CompiledTest::compile(*Test);
+        if (!Compiled)
+          continue;
+        forEachCandidate(*Compiled, [&](const Candidate &Cand) {
+          if (!Cand.Consistent || Cand.Out.key() != B.Key)
+            return true;
+          Cand.Exe.enableDerivedCache();
+          const Verdict V = Reference->check(Cand.Exe);
+          if (!V.Allowed && !V.Violated.empty())
+            Witnesses.push_back(obs::makeKillWitness(
+                T.TestName, *Reference, V.Violated.front(), Cand.Exe,
+                Cand.Out));
+          return false;
+        });
+      }
+      auto Saved = Recorder.record("unsound-" + T.TestName,
+                                   Test ? Test->toString() : std::string(),
+                                   Summary, Witnesses);
+      if (!Saved)
+        std::fprintf(stderr, "cats_run: %s\n", Saved.message().c_str());
+      else if (!Quiet)
+        std::printf("flight recorder: dumped %s\n", Saved->c_str());
     }
   }
 

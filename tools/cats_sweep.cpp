@@ -50,6 +50,8 @@ int usage(const char *Argv0) {
                       "(bmc reports lower-bound allowed counts; see\n"
                       "docs/enumeration.md)"},
       {"--json FILE", "write the cats-sweep-report/1 JSON report"},
+      {"--witness", "capture per-(test, model) witnesses into the JSON\n"
+                    "report's cats-witness/1 section (docs/explain.md)"},
       {"--herd", "print the classic herd block per test x model"},
       {"--quiet", "suppress the summary table"}};
   for (const cli::FlagDoc &F : cli::campaignFlagDocs(/*WithCheckpoint=*/true))
@@ -75,7 +77,7 @@ int usage(const char *Argv0) {
 int main(int argc, char **argv) {
   unsigned Jobs = 0, Batch = 64;
   JudgeBackend Backend = JudgeBackend::Pruned;
-  bool UseCatalogue = false, Herd = false, Quiet = false;
+  bool UseCatalogue = false, Herd = false, Quiet = false, Witness = false;
   std::string JsonPath, Filter;
   std::vector<std::string> ModelNames;
   std::vector<std::string> Paths;
@@ -125,6 +127,8 @@ int main(int argc, char **argv) {
       if (!V)
         return 2;
       JsonPath = V;
+    } else if (Args.is("--witness")) {
+      Witness = true;
     } else if (Args.is("--herd")) {
       Herd = true;
     } else if (Args.is("--quiet")) {
@@ -165,6 +169,7 @@ int main(int argc, char **argv) {
   SweepOptions EngineOpts;
   EngineOpts.Jobs = Jobs;
   EngineOpts.Backend = Backend;
+  EngineOpts.Witness = Witness;
   SweepEngine Engine(EngineOpts);
   SweepReport Report;
   std::vector<LitmusTest> Tests; // materialized path only, for --herd
